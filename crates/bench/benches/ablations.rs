@@ -1,0 +1,133 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//! matching scheme, refinement passes, initial-partitioning trials and
+//! balance weighting. Each timing group also prints the resulting
+//! edge-cut once, so quality and cost can be compared side by side.
+
+use blockpart_graph::Csr;
+use blockpart_partition::multilevel::{kway, MatchingScheme};
+use blockpart_partition::{CutMetrics, MultilevelConfig, VertexWeighting};
+use blockpart_types::ShardCount;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn community_graph(communities: u32, size: u32, seed: u64) -> Csr {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = communities * size;
+    let mut edges = Vec::new();
+    for v in 0..n {
+        let c = v / size;
+        // dense intra-community edges
+        for _ in 0..3 {
+            let u = c * size + rng.gen_range(0..size);
+            if u != v {
+                edges.push((v, u, 5));
+            }
+        }
+        // sparse inter-community edges
+        if rng.gen_bool(0.08) {
+            let u = rng.gen_range(0..n);
+            if u != v {
+                edges.push((v, u, 1));
+            }
+        }
+    }
+    Csr::from_edges(n as usize, &edges)
+}
+
+fn report_quality(name: &str, csr: &Csr, cfg: &MultilevelConfig) {
+    let k = ShardCount::new(8).expect("non-zero");
+    let part = kway(csr, k, cfg);
+    let m = CutMetrics::compute(csr, &part);
+    eprintln!(
+        "# quality[{name}]: dynamic-cut {:.4}, static-balance {:.3}",
+        m.dynamic_edge_cut, m.static_balance
+    );
+}
+
+fn bench_matching_scheme(c: &mut Criterion) {
+    let csr = community_graph(16, 200, 3);
+    let k = ShardCount::new(8).expect("non-zero");
+    let mut group = c.benchmark_group("ablation-matching");
+    group.sample_size(10);
+    for (name, scheme) in [
+        ("heavy-edge", MatchingScheme::HeavyEdge),
+        ("random", MatchingScheme::Random),
+    ] {
+        let cfg = MultilevelConfig {
+            matching: scheme,
+            ..MultilevelConfig::default()
+        };
+        report_quality(name, &csr, &cfg);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| kway(&csr, k, cfg));
+        });
+    }
+    group.finish();
+}
+
+fn bench_refinement_passes(c: &mut Criterion) {
+    let csr = community_graph(16, 200, 5);
+    let k = ShardCount::new(8).expect("non-zero");
+    let mut group = c.benchmark_group("ablation-refinement");
+    group.sample_size(10);
+    for passes in [0usize, 2, 8] {
+        let cfg = MultilevelConfig {
+            refine_passes: passes,
+            ..MultilevelConfig::default()
+        };
+        report_quality(&format!("passes-{passes}"), &csr, &cfg);
+        group.bench_with_input(BenchmarkId::from_parameter(passes), &cfg, |b, cfg| {
+            b.iter(|| kway(&csr, k, cfg));
+        });
+    }
+    group.finish();
+}
+
+fn bench_init_trials(c: &mut Criterion) {
+    let csr = community_graph(12, 200, 7);
+    let k = ShardCount::new(8).expect("non-zero");
+    let mut group = c.benchmark_group("ablation-init-trials");
+    group.sample_size(10);
+    for trials in [1usize, 4, 8] {
+        let cfg = MultilevelConfig {
+            init_trials: trials,
+            ..MultilevelConfig::default()
+        };
+        report_quality(&format!("trials-{trials}"), &csr, &cfg);
+        group.bench_with_input(BenchmarkId::from_parameter(trials), &cfg, |b, cfg| {
+            b.iter(|| kway(&csr, k, cfg));
+        });
+    }
+    group.finish();
+}
+
+fn bench_weighting(c: &mut Criterion) {
+    let csr = community_graph(12, 200, 9);
+    let k = ShardCount::new(8).expect("non-zero");
+    let mut group = c.benchmark_group("ablation-weighting");
+    group.sample_size(10);
+    for (name, weighting) in [
+        ("unit", VertexWeighting::Unit),
+        ("activity", VertexWeighting::Activity),
+    ] {
+        let cfg = MultilevelConfig {
+            weighting,
+            ..MultilevelConfig::default()
+        };
+        report_quality(name, &csr, &cfg);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| kway(&csr, k, cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matching_scheme,
+    bench_refinement_passes,
+    bench_init_trials,
+    bench_weighting
+);
+criterion_main!(benches);

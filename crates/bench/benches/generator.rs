@@ -1,0 +1,30 @@
+//! Criterion benchmark of the synthetic chain generator (transactions
+//! executed through the EVM per second).
+
+use blockpart_ethereum::gen::{ChainGenerator, GeneratorConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_generator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generator");
+    group.sample_size(10);
+    for &scale in &[0.005f64, 0.02] {
+        // measure throughput in generated interactions
+        let probe = ChainGenerator::new(GeneratorConfig::test_scale(5).with_scale(scale))
+            .generate();
+        group.throughput(Throughput::Elements(probe.log.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("test-timeline", scale),
+            &scale,
+            |b, &scale| {
+                b.iter(|| {
+                    ChainGenerator::new(GeneratorConfig::test_scale(5).with_scale(scale))
+                        .generate()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generator);
+criterion_main!(benches);

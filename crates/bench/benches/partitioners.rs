@@ -1,0 +1,79 @@
+//! Criterion benchmarks of the three partitioner families on synthetic
+//! power-law graphs (the degree shape of blockchain graphs).
+
+use blockpart_graph::Csr;
+use blockpart_partition::{
+    DistributedKl, HashPartitioner, MultilevelConfig, MultilevelPartitioner, PartitionRequest,
+    Partitioner,
+};
+use blockpart_types::ShardCount;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A preferential-attachment-flavoured random graph of `n` vertices.
+fn power_law_graph(n: u32, seed: u64) -> Csr {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(n as usize * 2);
+    for v in 1..n {
+        // attach to earlier vertices, biased toward small indices (hubs)
+        for _ in 0..1 + (v % 2) {
+            let t = rng.gen_range(0..v);
+            let t = t / 2;
+            if t != v {
+                edges.push((v, t, 1 + rng.gen_range(0..8u64)));
+            }
+        }
+    }
+    Csr::from_edges(n as usize, &edges)
+}
+
+fn bench_partitioners(c: &mut Criterion) {
+    let k = ShardCount::new(8).expect("non-zero");
+    let mut group = c.benchmark_group("partitioners");
+    group.sample_size(10);
+    for &n in &[1_000u32, 10_000] {
+        let csr = power_law_graph(n, 7);
+        let ids: Vec<u64> = (0..n as u64).collect();
+        group.throughput(Throughput::Elements(n as u64));
+
+        group.bench_with_input(BenchmarkId::new("hash", n), &csr, |b, csr| {
+            let mut p = HashPartitioner::new();
+            b.iter(|| {
+                p.partition(&PartitionRequest::new(csr, k).with_stable_ids(&ids))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("kl-distributed", n), &csr, |b, csr| {
+            b.iter(|| {
+                DistributedKl::with_seed(3)
+                    .partition(&PartitionRequest::new(csr, k).with_stable_ids(&ids))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("multilevel", n), &csr, |b, csr| {
+            b.iter(|| {
+                MultilevelPartitioner::new(MultilevelConfig::default())
+                    .partition(&PartitionRequest::new(csr, k).with_stable_ids(&ids))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_shard_counts(c: &mut Criterion) {
+    let csr = power_law_graph(10_000, 9);
+    let mut group = c.benchmark_group("multilevel-by-k");
+    group.sample_size(10);
+    for &kk in &[2u16, 4, 8] {
+        let k = ShardCount::new(kk).expect("non-zero");
+        group.bench_with_input(BenchmarkId::from_parameter(kk), &k, |b, &k| {
+            b.iter(|| {
+                MultilevelPartitioner::new(MultilevelConfig::default())
+                    .partition(&PartitionRequest::new(&csr, k))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners, bench_shard_counts);
+criterion_main!(benches);

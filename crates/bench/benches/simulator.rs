@@ -1,0 +1,34 @@
+//! Criterion benchmark of the sharding simulator: interactions streamed
+//! per second under each method's configuration.
+
+use blockpart_core::Method;
+use blockpart_ethereum::gen::{ChainGenerator, GeneratorConfig};
+use blockpart_shard::ShardSimulator;
+use blockpart_types::ShardCount;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_simulator(c: &mut Criterion) {
+    let chain = ChainGenerator::new(GeneratorConfig::test_scale(13)).generate();
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(chain.log.len() as u64));
+    for method in Method::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(method.label()),
+            &method,
+            |b, &method| {
+                b.iter(|| {
+                    let mut sim = ShardSimulator::new(
+                        method.simulator_config(ShardCount::TWO),
+                        method.partitioner(1),
+                    );
+                    sim.run(&chain.log)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

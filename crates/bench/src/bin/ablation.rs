@@ -1,0 +1,34 @@
+//! Runs the design-choice ablations of DESIGN.md §5 on the synthetic
+//! history: placement rule, reduced-window length, TR-METIS thresholds and
+//! the offline streaming-partitioner comparison.
+
+use blockpart_bench::{generate_history, seed_from_env};
+use blockpart_core::ablation::{
+    ablation_table, offline_partitioner_comparison, offline_table, placement_ablation,
+    scope_window_ablation, threshold_ablation,
+};
+use blockpart_types::{Duration, ShardCount};
+
+fn main() {
+    let chain = generate_history();
+    let k = ShardCount::TWO;
+    let seed = seed_from_env();
+
+    println!("\n## Ablation — new-vertex placement rule (METIS config, k = 2)\n");
+    let runs = placement_ablation(&chain.log, k, seed);
+    println!("{}", ablation_table(&runs).render_ascii());
+
+    println!("\n## Ablation — R-METIS reduced-window length\n");
+    let windows = [Duration::weeks(1), Duration::weeks(2), Duration::weeks(4)];
+    let runs = scope_window_ablation(&chain.log, k, &windows, seed);
+    println!("{}", ablation_table(&runs).render_ascii());
+
+    println!("\n## Ablation — TR-METIS trigger thresholds\n");
+    let thresholds = [(0.25, 1.5), (0.35, 1.7), (0.50, 2.0), (0.70, 3.0)];
+    let runs = threshold_ablation(&chain.log, k, &thresholds, seed);
+    println!("{}", ablation_table(&runs).render_ascii());
+
+    println!("\n## Offline comparison — hash vs streaming (LDG, Fennel) vs multilevel\n");
+    let rows = offline_partitioner_comparison(&chain.log, k);
+    println!("{}", offline_table(&rows).render_ascii());
+}

@@ -1,0 +1,35 @@
+//! Regenerates **Fig. 1**: the growth of the Ethereum blockchain graph in
+//! vertices and edges per month, with the fork/attack markers.
+//!
+//! The paper's shape to look for: roughly exponential growth until the
+//! marked attack (an order-of-magnitude vertex jump in Sep–Oct 2016),
+//! then steady super-linear growth through 2017.
+
+use blockpart_bench::generate_history;
+use blockpart_core::experiments::{fig1_growth, fig1_table};
+use blockpart_ethereum::gen::EraTimeline;
+
+fn main() {
+    let chain = generate_history();
+    let growth = fig1_growth(&chain.log);
+    let markers = EraTimeline::fig1_markers();
+    println!("## Fig. 1 — graph evolution (vertices & edges per month)\n");
+    println!("{}", fig1_table(&growth, &markers).render_ascii());
+
+    // the paper's two headline ratios
+    if let (Some(pre), Some(post)) = (
+        growth.iter().find(|p| p.label == "09.16"),
+        growth.iter().find(|p| p.label == "11.16"),
+    ) {
+        println!(
+            "attack vertex inflation (09.16 -> 11.16): {:.1}x",
+            post.nodes as f64 / pre.nodes.max(1) as f64
+        );
+    }
+    if let (Some(first), Some(last)) = (growth.first(), growth.last()) {
+        println!(
+            "total growth: {} -> {} vertices, {} -> {} edges",
+            first.nodes, last.nodes, first.edges, last.edges
+        );
+    }
+}

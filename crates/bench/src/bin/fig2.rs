@@ -1,0 +1,20 @@
+//! Regenerates **Fig. 2**: a subgraph of accounts (solid), contracts
+//! (dashed) and their weighted dependencies from September 2015, in
+//! Graphviz DOT. Pipe the output to `dot -Tpng` to draw it.
+
+use blockpart_bench::generate_history;
+use blockpart_core::experiments::fig2_dot;
+use blockpart_metrics::calendar::month_start;
+
+fn main() {
+    let chain = generate_history();
+    // September 2015 is month offset 1 (genesis = 2015-07-30)
+    let (start, end) = (month_start(1), month_start(2));
+    match fig2_dot(&chain.log, start, end, 2) {
+        Some(dot) => {
+            eprintln!("# Fig. 2 — 2-hop neighbourhood of the busiest contract in 09.15");
+            println!("{dot}");
+        }
+        None => eprintln!("no contract active in September 2015 at this scale; raise BLOCKPART_SCALE"),
+    }
+}

@@ -1,0 +1,40 @@
+//! Regenerates **Fig. 5**: dynamic edge-cut, normalized dynamic balance
+//! ((balance − 1)/(k − 1)) and total moves for every method at k ∈
+//! {2, 4, 8}, over the whole history.
+//!
+//! The paper's shapes to look for: edge-cut grows with k for every
+//! method; METIS-family beats hashing and KL on edge-cut; hashing and KL
+//! win on balance; METIS moves the most vertices, P/R-METIS and TR-METIS
+//! far fewer.
+
+use blockpart_bench::{generate_history, seed_from_env};
+use blockpart_core::experiments::{fig5_rows, fig5_table};
+use blockpart_core::{Method, Study};
+use blockpart_types::ShardCount;
+
+fn main() {
+    let chain = generate_history();
+    let ks: Vec<ShardCount> = [2u16, 4, 8]
+        .iter()
+        .map(|&k| ShardCount::new(k).expect("non-zero"))
+        .collect();
+    let result = Study::new(&chain.log)
+        .methods(Method::ALL.to_vec())
+        .shard_counts(ks)
+        .seed(seed_from_env())
+        .run();
+
+    println!("\n## Fig. 5 — methods vs shard count (full history)\n");
+    let rows = fig5_rows(&result);
+    println!("{}", fig5_table(&rows).render_ascii());
+
+    // headline cross-checks (printed, not asserted: scales vary)
+    let cut = |m, k: u16| {
+        rows.iter()
+            .find(|r| r.method == m && r.k.get() == k)
+            .map(|r| r.dynamic_edge_cut)
+            .unwrap_or(f64::NAN)
+    };
+    println!("hash cut growth with k : {:.2} -> {:.2} -> {:.2}", cut(Method::Hash, 2), cut(Method::Hash, 4), cut(Method::Hash, 8));
+    println!("metis advantage at k=2 : {:.2} vs hash {:.2}", cut(Method::Metis, 2), cut(Method::Hash, 2));
+}

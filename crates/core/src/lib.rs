@@ -1,0 +1,43 @@
+//! The partitioning study of Fynn & Pedone (DSN 2018), end to end.
+//!
+//! This crate wires the substrates together: it takes an interaction log
+//! (usually from [`blockpart_ethereum`]'s generator), runs the five
+//! partitioning methods across shard-count configurations via the
+//! [`blockpart_shard`] simulator, and aggregates the per-window metrics
+//! into the tables behind the paper's figures.
+//!
+//! * [`Method`] — the five methods (HASH, KL, METIS, R-METIS, TR-METIS)
+//!   and their canonical simulator configurations;
+//! * [`Study`] — a builder that runs methods × shard counts (in parallel)
+//!   over one log and collects [`StudyResult`];
+//! * [`experiments`] — one function per paper figure, each returning
+//!   renderable tables/series.
+//!
+//! # Examples
+//!
+//! ```
+//! use blockpart_core::{Method, Study};
+//! use blockpart_ethereum::gen::{ChainGenerator, GeneratorConfig};
+//! use blockpart_types::ShardCount;
+//!
+//! let chain = ChainGenerator::new(GeneratorConfig::test_scale(5)).generate();
+//! let result = Study::new(&chain.log)
+//!     .methods(vec![Method::Hash, Method::Metis])
+//!     .shard_counts(vec![ShardCount::TWO])
+//!     .run();
+//! let hash = result.get(Method::Hash, ShardCount::TWO).unwrap();
+//! assert_eq!(hash.total_moves, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod experiments;
+mod methods;
+mod study;
+
+pub use methods::Method;
+pub use study::{MethodRun, Study, StudyResult};
+
+pub use blockpart_types::{Duration, ShardCount, Timestamp};

@@ -1,0 +1,213 @@
+//! The study runner: methods × shard counts over one interaction log.
+
+use blockpart_graph::InteractionLog;
+use blockpart_shard::{ShardSimulator, SimulationResult};
+use blockpart_types::{Duration, ShardCount};
+
+use crate::methods::Method;
+
+/// One completed simulation: a method at a shard count.
+#[derive(Clone, Debug)]
+pub struct MethodRun {
+    /// The partitioning method.
+    pub method: Method,
+    /// The shard count.
+    pub k: ShardCount,
+    /// Per-window metrics and totals.
+    pub result: SimulationResult,
+}
+
+/// Results of a [`Study`], indexable by method and shard count.
+#[derive(Clone, Debug, Default)]
+pub struct StudyResult {
+    /// All runs, in methods-major order.
+    pub runs: Vec<MethodRun>,
+}
+
+impl StudyResult {
+    /// The result for `method` at `k`, if it was part of the study.
+    pub fn get(&self, method: Method, k: ShardCount) -> Option<&SimulationResult> {
+        self.runs
+            .iter()
+            .find(|r| r.method == method && r.k == k)
+            .map(|r| &r.result)
+    }
+}
+
+/// Configures and runs a partitioning study over an interaction log.
+///
+/// Runs execute in parallel (one thread per method × shard-count pair,
+/// bounded by available parallelism) and are individually deterministic:
+/// the same log, methods, shard counts and seed always produce the same
+/// result regardless of thread scheduling.
+///
+/// # Examples
+///
+/// ```
+/// use blockpart_core::{Method, Study};
+/// use blockpart_graph::{Interaction, InteractionLog};
+/// use blockpart_types::{Address, ShardCount, Timestamp};
+///
+/// let mut log = InteractionLog::new();
+/// for i in 0..200u64 {
+///     log.push(Interaction::new(
+///         Timestamp::from_secs(i * 600),
+///         Address::from_index(i % 10),
+///         Address::from_index((i + 1) % 10),
+///     ));
+/// }
+/// let result = Study::new(&log)
+///     .methods(vec![Method::Hash])
+///     .shard_counts(vec![ShardCount::TWO])
+///     .run();
+/// assert_eq!(result.runs.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Study<'a> {
+    log: &'a InteractionLog,
+    methods: Vec<Method>,
+    shard_counts: Vec<ShardCount>,
+    window: Duration,
+    seed: u64,
+}
+
+impl<'a> Study<'a> {
+    /// Creates a study over `log` with the paper's defaults: all five
+    /// methods, k ∈ {2, 4, 8}, 4-hour windows.
+    pub fn new(log: &'a InteractionLog) -> Self {
+        Study {
+            log,
+            methods: Method::ALL.to_vec(),
+            shard_counts: [2u16, 4, 8]
+                .iter()
+                .map(|&k| ShardCount::new(k).expect("non-zero"))
+                .collect(),
+            window: Duration::hours(4),
+            seed: 0x57_55_44_59, // "STUDY"
+        }
+    }
+
+    /// Restricts the methods to run.
+    pub fn methods(mut self, methods: Vec<Method>) -> Self {
+        self.methods = methods;
+        self
+    }
+
+    /// Restricts the shard counts.
+    pub fn shard_counts(mut self, shard_counts: Vec<ShardCount>) -> Self {
+        self.shard_counts = shard_counts;
+        self
+    }
+
+    /// Overrides the measurement window.
+    pub fn window(mut self, window: Duration) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Overrides the seed fed to the stochastic partitioners.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs every method × shard-count pair and collects the results.
+    pub fn run(self) -> StudyResult {
+        let mut pairs: Vec<(Method, ShardCount)> = Vec::new();
+        for &m in &self.methods {
+            for &k in &self.shard_counts {
+                pairs.push((m, k));
+            }
+        }
+        let log = self.log;
+        let window = self.window;
+        let seed = self.seed;
+
+        let mut runs: Vec<Option<MethodRun>> = Vec::new();
+        runs.resize_with(pairs.len(), || None);
+        crossbeam::thread::scope(|scope| {
+            for (slot, &(method, k)) in runs.iter_mut().zip(&pairs) {
+                scope.spawn(move |_| {
+                    let config = method.simulator_config(k).with_window(window);
+                    let partitioner = method.partitioner(seed);
+                    let mut sim = ShardSimulator::new(config, partitioner);
+                    *slot = Some(MethodRun {
+                        method,
+                        k,
+                        result: sim.run(log),
+                    });
+                });
+            }
+        })
+        .expect("study worker panicked");
+
+        StudyResult {
+            runs: runs.into_iter().map(|r| r.expect("run completed")).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockpart_graph::Interaction;
+    use blockpart_types::{Address, Timestamp};
+
+    fn log() -> InteractionLog {
+        let mut log = InteractionLog::new();
+        for d in 0..30u64 {
+            for h in 0..24 {
+                let t = Timestamp::from_secs(d * 86_400 + h * 3_600);
+                let i = (d * 24 + h) % 20;
+                log.push(Interaction::new(
+                    t,
+                    Address::from_index(i),
+                    Address::from_index((i + 1) % 20),
+                ));
+            }
+        }
+        log
+    }
+
+    #[test]
+    fn runs_all_pairs() {
+        let log = log();
+        let result = Study::new(&log)
+            .methods(vec![Method::Hash, Method::Metis])
+            .shard_counts(vec![ShardCount::TWO, ShardCount::new(4).unwrap()])
+            .run();
+        assert_eq!(result.runs.len(), 4);
+        assert!(result.get(Method::Hash, ShardCount::TWO).is_some());
+        assert!(result.get(Method::Kl, ShardCount::TWO).is_none());
+    }
+
+    #[test]
+    fn parallel_runs_are_deterministic() {
+        let log = log();
+        let run = || {
+            Study::new(&log)
+                .methods(vec![Method::Kl, Method::Metis, Method::TrMetis])
+                .shard_counts(vec![ShardCount::TWO])
+                .seed(42)
+                .run()
+        };
+        let a = run();
+        let b = run();
+        for (ra, rb) in a.runs.iter().zip(&b.runs) {
+            assert_eq!(ra.method, rb.method);
+            assert_eq!(ra.result.total_moves, rb.result.total_moves);
+            assert_eq!(ra.result.windows.len(), rb.result.windows.len());
+            for (wa, wb) in ra.result.windows.iter().zip(&rb.result.windows) {
+                assert_eq!(wa, wb);
+            }
+        }
+    }
+
+    #[test]
+    fn default_study_covers_paper_grid() {
+        let log = log();
+        let s = Study::new(&log);
+        assert_eq!(s.methods.len(), 5);
+        assert_eq!(s.shard_counts.len(), 3);
+    }
+}

@@ -1,0 +1,19 @@
+//! Era-driven synthetic workload generation.
+//!
+//! The generator replays the shape of Ethereum's first 30 months
+//! documented in the paper's Fig. 1: exponential growth through 2015–2016,
+//! the September–October 2016 attack that inflated the vertex count by an
+//! order of magnitude with one-shot dummy accounts, and the super-linear
+//! ICO-driven growth of 2017. [`EraTimeline::ethereum_history`] encodes
+//! the timeline, [`Population`] models heavy-tailed account/contract
+//! popularity (preferential attachment + template-specific behaviour) and
+//! [`ChainGenerator`] drives transactions through the EVM to produce the
+//! interaction log.
+
+mod era;
+mod generator;
+mod workload;
+
+pub use era::{Era, EraTimeline, TxMix};
+pub use generator::{ChainGenerator, GeneratorConfig};
+pub use workload::Population;

@@ -1,0 +1,260 @@
+//! The population model: who sends transactions to whom.
+//!
+//! Real blockchain graphs are heavy-tailed: a handful of exchange accounts
+//! and hub contracts attract a large share of all interactions, most
+//! vertices appear a handful of times, and the 2016 attack minted millions
+//! of vertices that were used exactly once. The model reproduces this with
+//! *preferential attachment*: every interaction endpoint is appended to a
+//! sampling bag, and sampling uniformly from the bag is
+//! degree-proportional sampling.
+
+use blockpart_types::Address;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::program::ContractTemplate;
+
+/// Heavy-tailed account and contract population with degree-proportional
+/// sampling.
+///
+/// # Examples
+///
+/// ```
+/// use blockpart_ethereum::gen::Population;
+/// use blockpart_types::Address;
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// let mut pop = Population::new();
+/// pop.add_user(Address::from_index(1));
+/// pop.note_user_activity(Address::from_index(1));
+/// let mut rng = SmallRng::seed_from_u64(0);
+/// assert_eq!(pop.sample_user(&mut rng), Some(Address::from_index(1)));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Population {
+    /// Distinct users (for uniform sampling and counting).
+    users: Vec<Address>,
+    /// Preferential-attachment bag: one entry per observed user activity.
+    user_bag: Vec<Address>,
+    /// Contracts by template, with their own activity bags.
+    contracts: [Vec<Address>; 6],
+    contract_bags: [Vec<Address>; 6],
+}
+
+impl Population {
+    /// Creates an empty population.
+    pub fn new() -> Self {
+        Population::default()
+    }
+
+    /// Number of known users.
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Number of known contracts of `template`.
+    pub fn contract_count(&self, template: ContractTemplate) -> usize {
+        self.contracts[template.id() as usize].len()
+    }
+
+    /// Total known contracts.
+    pub fn total_contracts(&self) -> usize {
+        self.contracts.iter().map(Vec::len).sum()
+    }
+
+    /// Registers a new user.
+    pub fn add_user(&mut self, user: Address) {
+        self.users.push(user);
+        // One bag entry at birth so brand-new users are reachable.
+        self.user_bag.push(user);
+    }
+
+    /// Registers a new contract of `template`.
+    pub fn add_contract(&mut self, template: ContractTemplate, contract: Address) {
+        self.contracts[template.id() as usize].push(contract);
+        self.contract_bags[template.id() as usize].push(contract);
+    }
+
+    /// Records one unit of user activity (degree) for sampling.
+    pub fn note_user_activity(&mut self, user: Address) {
+        self.user_bag.push(user);
+    }
+
+    /// Records one unit of contract activity for sampling.
+    pub fn note_contract_activity(&mut self, template: ContractTemplate, contract: Address) {
+        self.contract_bags[template.id() as usize].push(contract);
+    }
+
+    /// Samples a user proportionally to past activity (preferential
+    /// attachment). `None` while the population is empty.
+    pub fn sample_user(&self, rng: &mut SmallRng) -> Option<Address> {
+        pick(&self.user_bag, rng)
+    }
+
+    /// Samples a user uniformly (used for "fresh counterparty" traffic
+    /// that keeps the tail of the degree distribution fat).
+    pub fn sample_user_uniform(&self, rng: &mut SmallRng) -> Option<Address> {
+        pick(&self.users, rng)
+    }
+
+    /// Samples a contract of `template` proportionally to past activity.
+    pub fn sample_contract(
+        &self,
+        template: ContractTemplate,
+        rng: &mut SmallRng,
+    ) -> Option<Address> {
+        pick(&self.contract_bags[template.id() as usize], rng)
+    }
+
+    /// Samples the most recently created contract of `template` with 50%
+    /// probability, otherwise any — models the "hot new ICO" effect.
+    pub fn sample_contract_recent_biased(
+        &self,
+        template: ContractTemplate,
+        rng: &mut SmallRng,
+    ) -> Option<Address> {
+        let list = &self.contracts[template.id() as usize];
+        if list.is_empty() {
+            return None;
+        }
+        if rng.gen_bool(0.5) {
+            // one of the last 4 deployed
+            let lo = list.len().saturating_sub(4);
+            Some(list[rng.gen_range(lo..list.len())])
+        } else {
+            self.sample_contract(template, rng)
+        }
+    }
+
+    /// Truncates the activity bags to bound memory on very long runs,
+    /// keeping the most recent `max` entries (recency-weighted
+    /// preferential attachment).
+    pub fn compact(&mut self, max: usize) {
+        compact_bag(&mut self.user_bag, max);
+        for bag in &mut self.contract_bags {
+            compact_bag(bag, max);
+        }
+    }
+}
+
+fn pick(bag: &[Address], rng: &mut SmallRng) -> Option<Address> {
+    if bag.is_empty() {
+        None
+    } else {
+        Some(bag[rng.gen_range(0..bag.len())])
+    }
+}
+
+fn compact_bag(bag: &mut Vec<Address>, max: usize) {
+    if bag.len() > max {
+        bag.drain(..bag.len() - max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn empty_population_samples_none() {
+        let pop = Population::new();
+        assert_eq!(pop.sample_user(&mut rng()), None);
+        assert_eq!(pop.sample_contract(ContractTemplate::Token, &mut rng()), None);
+    }
+
+    #[test]
+    fn preferential_attachment_biases_sampling() {
+        let mut pop = Population::new();
+        let hot = Address::from_index(1);
+        let cold = Address::from_index(2);
+        pop.add_user(hot);
+        pop.add_user(cold);
+        for _ in 0..98 {
+            pop.note_user_activity(hot);
+        }
+        let mut r = rng();
+        let mut counts: HashMap<Address, usize> = HashMap::new();
+        for _ in 0..1_000 {
+            *counts.entry(pop.sample_user(&mut r).unwrap()).or_insert(0) += 1;
+        }
+        let hot_n = counts.get(&hot).copied().unwrap_or(0);
+        assert!(hot_n > 900, "hot sampled {hot_n}/1000");
+    }
+
+    #[test]
+    fn uniform_sampling_ignores_activity() {
+        let mut pop = Population::new();
+        for i in 0..10 {
+            pop.add_user(Address::from_index(i));
+        }
+        for _ in 0..1_000 {
+            pop.note_user_activity(Address::from_index(0));
+        }
+        let mut r = rng();
+        let mut zero = 0;
+        for _ in 0..1_000 {
+            if pop.sample_user_uniform(&mut r) == Some(Address::from_index(0)) {
+                zero += 1;
+            }
+        }
+        assert!((50..200).contains(&zero), "uniform sampled 0 {zero} times");
+    }
+
+    #[test]
+    fn contracts_tracked_per_template() {
+        let mut pop = Population::new();
+        pop.add_contract(ContractTemplate::Token, Address::from_index(10));
+        pop.add_contract(ContractTemplate::Game, Address::from_index(11));
+        assert_eq!(pop.contract_count(ContractTemplate::Token), 1);
+        assert_eq!(pop.contract_count(ContractTemplate::Game), 1);
+        assert_eq!(pop.contract_count(ContractTemplate::Wallet), 0);
+        assert_eq!(pop.total_contracts(), 2);
+        assert_eq!(
+            pop.sample_contract(ContractTemplate::Token, &mut rng()),
+            Some(Address::from_index(10))
+        );
+    }
+
+    #[test]
+    fn recent_bias_prefers_new_deployments() {
+        let mut pop = Population::new();
+        for i in 0..100 {
+            pop.add_contract(ContractTemplate::Crowdsale, Address::from_index(i));
+        }
+        // heavy activity on an old one
+        for _ in 0..1_000 {
+            pop.note_contract_activity(ContractTemplate::Crowdsale, Address::from_index(0));
+        }
+        let mut r = rng();
+        let mut recent = 0;
+        for _ in 0..1_000 {
+            let c = pop
+                .sample_contract_recent_biased(ContractTemplate::Crowdsale, &mut r)
+                .unwrap();
+            if c.index() >= 96 {
+                recent += 1;
+            }
+        }
+        assert!(recent > 300, "recent sampled {recent}/1000");
+    }
+
+    #[test]
+    fn compact_bounds_memory() {
+        let mut pop = Population::new();
+        pop.add_user(Address::from_index(0));
+        for _ in 0..10_000 {
+            pop.note_user_activity(Address::from_index(0));
+        }
+        pop.compact(100);
+        assert!(pop.user_bag.len() <= 100);
+        // sampling still works
+        assert!(pop.sample_user(&mut rng()).is_some());
+    }
+}

@@ -1,0 +1,418 @@
+//! Graph algorithms used by the study: traversal, components, degree
+//! statistics and neighbourhood extraction (for the paper's Fig. 2).
+
+use std::collections::VecDeque;
+
+use crate::csr::Csr;
+use crate::graph::Graph;
+use crate::node::NodeId;
+
+/// Breadth-first search over the symmetric CSR from `start`, returning the
+/// visit order.
+///
+/// # Panics
+///
+/// Panics if `start` is out of bounds.
+///
+/// # Examples
+///
+/// ```
+/// use blockpart_graph::{algos, Csr};
+///
+/// let csr = Csr::from_edges(4, &[(0, 1, 1), (1, 2, 1)]);
+/// let order = algos::bfs(&csr, 0);
+/// assert_eq!(order, vec![0, 1, 2]); // vertex 3 unreachable
+/// ```
+pub fn bfs(csr: &Csr, start: usize) -> Vec<usize> {
+    assert!(start < csr.node_count(), "start vertex out of bounds");
+    let mut seen = vec![false; csr.node_count()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    seen[start] = true;
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for (v, _) in csr.neighbors(u) {
+            let v = v as usize;
+            if !seen[v] {
+                seen[v] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+/// Labels connected components of the symmetric CSR.
+///
+/// Returns `(labels, component_count)`; labels are dense in
+/// `0..component_count`, assigned in order of the smallest vertex in each
+/// component.
+///
+/// # Examples
+///
+/// ```
+/// use blockpart_graph::{algos, Csr};
+///
+/// let csr = Csr::from_edges(4, &[(0, 1, 1), (2, 3, 1)]);
+/// let (labels, n) = algos::connected_components(&csr);
+/// assert_eq!(n, 2);
+/// assert_eq!(labels[0], labels[1]);
+/// assert_ne!(labels[0], labels[2]);
+/// ```
+pub fn connected_components(csr: &Csr) -> (Vec<u32>, usize) {
+    let n = csr.node_count();
+    let mut labels = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut queue = VecDeque::new();
+    for s in 0..n {
+        if labels[s] != u32::MAX {
+            continue;
+        }
+        labels[s] = next;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for (v, _) in csr.neighbors(u) {
+                let v = v as usize;
+                if labels[v] == u32::MAX {
+                    labels[v] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    (labels, next as usize)
+}
+
+/// Extracts the set of vertices within `hops` undirected hops of `start`.
+///
+/// Used to cut out presentation subgraphs like the paper's Fig. 2.
+///
+/// # Panics
+///
+/// Panics if `start` is out of bounds.
+pub fn neighborhood(csr: &Csr, start: usize, hops: usize) -> Vec<usize> {
+    assert!(start < csr.node_count(), "start vertex out of bounds");
+    let mut dist = vec![usize::MAX; csr.node_count()];
+    let mut queue = VecDeque::new();
+    let mut out = vec![start];
+    dist[start] = 0;
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        if dist[u] == hops {
+            continue;
+        }
+        for (v, _) in csr.neighbors(u) {
+            let v = v as usize;
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                out.push(v);
+                queue.push_back(v);
+            }
+        }
+    }
+    out
+}
+
+/// Summary of a graph's degree distribution.
+///
+/// # Examples
+///
+/// ```
+/// use blockpart_graph::{algos, Csr};
+///
+/// let csr = Csr::from_edges(3, &[(0, 1, 1), (0, 2, 1)]);
+/// let stats = algos::DegreeStats::of(&csr);
+/// assert_eq!(stats.max, 2);
+/// assert_eq!(stats.isolated, 0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DegreeStats {
+    /// Smallest degree.
+    pub min: usize,
+    /// Largest degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Number of degree-0 vertices.
+    pub isolated: usize,
+}
+
+impl DegreeStats {
+    /// Computes degree statistics for `csr`.
+    pub fn of(csr: &Csr) -> DegreeStats {
+        let n = csr.node_count();
+        if n == 0 {
+            return DegreeStats::default();
+        }
+        let mut min = usize::MAX;
+        let mut max = 0;
+        let mut sum = 0usize;
+        let mut isolated = 0;
+        for v in 0..n {
+            let d = csr.degree(v);
+            min = min.min(d);
+            max = max.max(d);
+            sum += d;
+            if d == 0 {
+                isolated += 1;
+            }
+        }
+        DegreeStats {
+            min,
+            max,
+            mean: sum as f64 / n as f64,
+            isolated,
+        }
+    }
+}
+
+/// PageRank over the symmetric CSR (weighted edges), with damping factor
+/// `d` and `iterations` power-method steps.
+///
+/// Useful as an alternative importance weight for vertices: on blockchain
+/// graphs it concentrates on the same hub contracts as raw activity but
+/// discounts spam neighbours.
+///
+/// # Panics
+///
+/// Panics if `d` is outside `(0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use blockpart_graph::{algos, Csr};
+///
+/// // a star: the hub must out-rank every leaf
+/// let edges: Vec<(u32, u32, u64)> = (1..6).map(|i| (0, i, 1)).collect();
+/// let csr = Csr::from_edges(6, &edges);
+/// let pr = algos::pagerank(&csr, 0.85, 30);
+/// assert!(pr[0] > pr[1] * 2.0);
+/// ```
+pub fn pagerank(csr: &Csr, d: f64, iterations: usize) -> Vec<f64> {
+    assert!(d > 0.0 && d < 1.0, "damping factor must lie in (0, 1)");
+    let n = csr.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let uniform = 1.0 / n as f64;
+    let mut rank = vec![uniform; n];
+    let mut next = vec![0.0f64; n];
+    let weighted_degree: Vec<u64> = (0..n).map(|v| csr.weighted_degree(v)).collect();
+    for _ in 0..iterations {
+        let mut dangling = 0.0;
+        for x in next.iter_mut() {
+            *x = 0.0;
+        }
+        for v in 0..n {
+            if weighted_degree[v] == 0 {
+                dangling += rank[v];
+                continue;
+            }
+            let share = rank[v] / weighted_degree[v] as f64;
+            for (u, w) in csr.neighbors(v) {
+                next[u as usize] += share * w as f64;
+            }
+        }
+        let teleport = (1.0 - d) * uniform + d * dangling * uniform;
+        for x in next.iter_mut() {
+            *x = teleport + d * *x;
+        }
+        std::mem::swap(&mut rank, &mut next);
+    }
+    rank
+}
+
+/// The local clustering coefficient of vertex `v` (fraction of neighbour
+/// pairs that are themselves connected; 0 for degree < 2).
+///
+/// Blockchain graphs are famously *un*-clustered (users interact with hub
+/// contracts, not each other), which is part of why hashing cuts ~1 − 1/k
+/// of all edges.
+///
+/// # Panics
+///
+/// Panics if `v` is out of bounds.
+///
+/// # Examples
+///
+/// ```
+/// use blockpart_graph::{algos, Csr};
+///
+/// let triangle = Csr::from_edges(3, &[(0, 1, 1), (1, 2, 1), (0, 2, 1)]);
+/// assert_eq!(algos::clustering_coefficient(&triangle, 0), 1.0);
+/// let path = Csr::from_edges(3, &[(0, 1, 1), (1, 2, 1)]);
+/// assert_eq!(algos::clustering_coefficient(&path, 1), 0.0);
+/// ```
+pub fn clustering_coefficient(csr: &Csr, v: usize) -> f64 {
+    let neighbors: Vec<u32> = csr.neighbors(v).map(|(u, _)| u).collect();
+    let d = neighbors.len();
+    if d < 2 {
+        return 0.0;
+    }
+    let mut closed = 0usize;
+    for (i, &a) in neighbors.iter().enumerate() {
+        for &b in &neighbors[i + 1..] {
+            // adjacency lists are sorted: binary search
+            let row: Vec<u32> = csr.neighbors(a as usize).map(|(u, _)| u).collect();
+            if row.binary_search(&b).is_ok() {
+                closed += 1;
+            }
+        }
+    }
+    2.0 * closed as f64 / (d * (d - 1)) as f64
+}
+
+/// Returns the `k` vertices with the highest activity weight, heaviest
+/// first (ties broken by node id).
+///
+/// # Examples
+///
+/// ```
+/// use blockpart_graph::{algos, GraphBuilder};
+/// use blockpart_types::Address;
+///
+/// let mut b = GraphBuilder::new();
+/// b.add_interaction(Address::from_index(0), Address::from_index(1), 10);
+/// b.add_interaction(Address::from_index(2), Address::from_index(1), 1);
+/// let g = b.build();
+/// let top = algos::top_k_by_weight(&g, 1);
+/// assert_eq!(g.node_weight(top[0]), 11); // vertex 1 took part in 11 interactions
+/// ```
+pub fn top_k_by_weight(graph: &Graph, k: usize) -> Vec<NodeId> {
+    let mut nodes: Vec<NodeId> = graph.nodes().map(|n| n.id).collect();
+    nodes.sort_by_key(|&n| (std::cmp::Reverse(graph.node_weight(n)), n));
+    nodes.truncate(k);
+    nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use blockpart_types::Address;
+
+    fn path(n: usize) -> Csr {
+        let edges: Vec<(u32, u32, u64)> =
+            (0..n - 1).map(|i| (i as u32, i as u32 + 1, 1)).collect();
+        Csr::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn bfs_visits_reachable_in_order() {
+        let order = bfs(&path(5), 2);
+        assert_eq!(order.len(), 5);
+        assert_eq!(order[0], 2);
+        // neighbours of 2 come before vertices at distance 2
+        assert!(order[1..3].contains(&1) && order[1..3].contains(&3));
+    }
+
+    #[test]
+    fn components_on_disconnected_graph() {
+        let csr = Csr::from_edges(6, &[(0, 1, 1), (1, 2, 1), (3, 4, 1)]);
+        let (labels, n) = connected_components(&csr);
+        assert_eq!(n, 3); // {0,1,2}, {3,4}, {5}
+        assert_eq!(labels[0], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        assert_ne!(labels[5], labels[3]);
+    }
+
+    #[test]
+    fn components_of_empty_graph() {
+        let (labels, n) = connected_components(&Csr::from_edges(0, &[]));
+        assert!(labels.is_empty());
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn neighborhood_respects_hops() {
+        let csr = path(10);
+        let hood = neighborhood(&csr, 5, 2);
+        let mut sorted = hood.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn neighborhood_zero_hops_is_self() {
+        assert_eq!(neighborhood(&path(3), 1, 0), vec![1]);
+    }
+
+    #[test]
+    fn degree_stats() {
+        let csr = Csr::from_edges(4, &[(0, 1, 1), (0, 2, 1)]);
+        let s = DegreeStats::of(&csr);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 2);
+        assert_eq!(s.isolated, 1);
+        assert!((s.mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_stats_empty() {
+        assert_eq!(DegreeStats::of(&Csr::from_edges(0, &[])), DegreeStats::default());
+    }
+
+    #[test]
+    fn top_k_orders_by_weight() {
+        let mut b = GraphBuilder::new();
+        b.add_interaction(Address::from_index(0), Address::from_index(1), 5);
+        b.add_interaction(Address::from_index(2), Address::from_index(3), 9);
+        let g = b.build();
+        let top = top_k_by_weight(&g, 2);
+        assert_eq!(g.node_weight(top[0]), 9);
+        assert_eq!(g.node_weight(top[1]), 9);
+        let all = top_k_by_weight(&g, 100);
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bfs_bad_start_panics() {
+        let _ = bfs(&path(2), 5);
+    }
+
+    #[test]
+    fn pagerank_sums_to_one() {
+        let csr = Csr::from_edges(5, &[(0, 1, 1), (1, 2, 3), (3, 4, 1)]);
+        let pr = pagerank(&csr, 0.85, 40);
+        let total: f64 = pr.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6, "sum {total}");
+        assert!(pr.iter().all(|&r| r > 0.0));
+    }
+
+    #[test]
+    fn pagerank_respects_edge_weights() {
+        // vertex 1 receives a heavy edge, vertex 2 a light one
+        let csr = Csr::from_edges(3, &[(0, 1, 9), (0, 2, 1)]);
+        let pr = pagerank(&csr, 0.85, 40);
+        assert!(pr[1] > pr[2]);
+    }
+
+    #[test]
+    fn pagerank_empty_graph() {
+        assert!(pagerank(&Csr::from_edges(0, &[]), 0.85, 10).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "damping")]
+    fn pagerank_bad_damping_panics() {
+        let _ = pagerank(&path(2), 1.0, 10);
+    }
+
+    #[test]
+    fn clustering_of_partial_triangle() {
+        // 0 connected to 1,2,3; only 1-2 closed: C(0) = 1/3
+        let csr = Csr::from_edges(4, &[(0, 1, 1), (0, 2, 1), (0, 3, 1), (1, 2, 1)]);
+        let c = clustering_coefficient(&csr, 0);
+        assert!((c - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustering_of_isolated_vertex_is_zero() {
+        let csr = Csr::from_edges(2, &[]);
+        assert_eq!(clustering_coefficient(&csr, 0), 0.0);
+    }
+}

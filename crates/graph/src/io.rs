@@ -1,0 +1,371 @@
+//! Trace and graph serialization: the plain-text interaction trace format
+//! (mirroring the paper's published dataset) and DOT export for subgraph
+//! figures.
+//!
+//! The trace format is one interaction per line:
+//!
+//! ```text
+//! # time  from  to  weight  from_kind  to_kind
+//! 3600 0x00..01 0x00..02 3 a c
+//! ```
+//!
+//! where `a` marks an externally-owned account and `c` a contract. Lines
+//! starting with `#` and blank lines are ignored.
+
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+
+use blockpart_types::{AccountKind, Address, Timestamp};
+
+use crate::event::{Interaction, InteractionLog};
+use crate::graph::Graph;
+
+/// Errors produced while reading a trace.
+#[derive(Debug)]
+pub enum ReadTraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line did not match the expected format.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ReadTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadTraceError::Io(e) => write!(f, "i/o error reading trace: {e}"),
+            ReadTraceError::Parse { line, message } => {
+                write!(f, "trace parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReadTraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadTraceError::Io(e) => Some(e),
+            ReadTraceError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ReadTraceError {
+    fn from(e: std::io::Error) -> Self {
+        ReadTraceError::Io(e)
+    }
+}
+
+/// Writes `log` in the plain-text trace format.
+///
+/// Accepts any [`Write`]r by value; pass `&mut writer` to keep ownership.
+///
+/// # Errors
+///
+/// Returns any I/O error from the underlying writer.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> std::io::Result<()> {
+/// use blockpart_graph::io::write_trace;
+/// use blockpart_graph::{Interaction, InteractionLog};
+/// use blockpart_types::{Address, Timestamp};
+///
+/// let mut log = InteractionLog::new();
+/// log.push(Interaction::new(
+///     Timestamp::from_secs(1),
+///     Address::from_index(0),
+///     Address::from_index(1),
+/// ));
+/// let mut buf = Vec::new();
+/// write_trace(&mut buf, &log)?;
+/// assert!(String::from_utf8(buf).unwrap().contains("0x"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_trace<W: Write>(mut writer: W, log: &InteractionLog) -> std::io::Result<()> {
+    writeln!(writer, "# time from to weight from_kind to_kind")?;
+    for e in log.events() {
+        writeln!(
+            writer,
+            "{} {} {} {} {} {}",
+            e.time.as_secs(),
+            e.from,
+            e.to,
+            e.weight,
+            kind_char(e.from_kind),
+            kind_char(e.to_kind),
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads a plain-text trace written by [`write_trace`].
+///
+/// Accepts any [`Read`]er by value; pass `&mut reader` to keep ownership.
+///
+/// # Errors
+///
+/// Returns [`ReadTraceError::Io`] on I/O failure and
+/// [`ReadTraceError::Parse`] on malformed lines (wrong field count, bad
+/// numbers, bad addresses, out-of-order timestamps).
+pub fn read_trace<R: Read>(reader: R) -> Result<InteractionLog, ReadTraceError> {
+    let mut log = InteractionLog::new();
+    let mut last_time = None;
+    for (i, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let lineno = i + 1;
+        let parse = |msg: &str| ReadTraceError::Parse {
+            line: lineno,
+            message: msg.to_string(),
+        };
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 6 {
+            return Err(parse(&format!("expected 6 fields, found {}", fields.len())));
+        }
+        let time = Timestamp::from_secs(
+            fields[0].parse().map_err(|_| parse("invalid timestamp"))?,
+        );
+        if let Some(last) = last_time {
+            if time < last {
+                return Err(parse("timestamps must be non-decreasing"));
+            }
+        }
+        last_time = Some(time);
+        let from = parse_address(fields[1]).ok_or_else(|| parse("invalid from address"))?;
+        let to = parse_address(fields[2]).ok_or_else(|| parse("invalid to address"))?;
+        let weight: u64 = fields[3].parse().map_err(|_| parse("invalid weight"))?;
+        let from_kind = parse_kind(fields[4]).ok_or_else(|| parse("invalid from kind"))?;
+        let to_kind = parse_kind(fields[5]).ok_or_else(|| parse("invalid to kind"))?;
+        log.push(Interaction {
+            time,
+            from,
+            to,
+            weight,
+            from_kind,
+            to_kind,
+        });
+    }
+    Ok(log)
+}
+
+/// Renders `graph` in Graphviz DOT, in the style of the paper's Fig. 2:
+/// accounts as solid ellipses, contracts as dashed boxes, edges labelled
+/// with their weight when greater than one.
+///
+/// # Examples
+///
+/// ```
+/// use blockpart_graph::{io::to_dot, GraphBuilder};
+/// use blockpart_types::{AccountKind, Address};
+///
+/// let mut b = GraphBuilder::new();
+/// b.touch(Address::from_index(2), AccountKind::Contract);
+/// b.add_interaction(Address::from_index(1), Address::from_index(2), 3);
+/// let dot = to_dot(&b.build());
+/// assert!(dot.contains("digraph"));
+/// assert!(dot.contains("label=\"3\""));
+/// ```
+pub fn to_dot(graph: &Graph) -> String {
+    let mut out = String::from("digraph blockchain {\n  rankdir=LR;\n");
+    for node in graph.nodes() {
+        let style = if node.kind.is_contract() {
+            "shape=box, style=dashed"
+        } else {
+            "shape=ellipse, style=solid"
+        };
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\", {}];",
+            node.id.index(),
+            node.address.index(),
+            style
+        );
+    }
+    for e in graph.edges() {
+        if e.weight > 1 {
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [label=\"{}\"];",
+                e.source.index(),
+                e.target.index(),
+                e.weight
+            );
+        } else {
+            let _ = writeln!(out, "  n{} -> n{};", e.source.index(), e.target.index());
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Writes a symmetric CSR in the classic METIS `.graph` file format
+/// (header `n m fmt` with `fmt = 011` for vertex + edge weights, then one
+/// line per vertex: `vwgt (neighbor weight)*`, 1-based indices).
+///
+/// Useful for cross-checking this crate's partitioners against an actual
+/// METIS binary.
+///
+/// # Errors
+///
+/// Returns any I/O error from the underlying writer.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> std::io::Result<()> {
+/// use blockpart_graph::{io::write_metis_graph, Csr};
+///
+/// let csr = Csr::from_edges(3, &[(0, 1, 5), (1, 2, 7)]);
+/// let mut buf = Vec::new();
+/// write_metis_graph(&mut buf, &csr)?;
+/// let text = String::from_utf8(buf).unwrap();
+/// assert!(text.starts_with("3 2 011\n"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_metis_graph<W: Write>(mut writer: W, csr: &crate::Csr) -> std::io::Result<()> {
+    writeln!(writer, "{} {} 011", csr.node_count(), csr.edge_count())?;
+    for v in 0..csr.node_count() {
+        write!(writer, "{}", csr.vertex_weight(v))?;
+        for (u, w) in csr.neighbors(v) {
+            write!(writer, " {} {}", u + 1, w)?;
+        }
+        writeln!(writer)?;
+    }
+    Ok(())
+}
+
+fn kind_char(kind: AccountKind) -> char {
+    if kind.is_contract() {
+        'c'
+    } else {
+        'a'
+    }
+}
+
+fn parse_kind(s: &str) -> Option<AccountKind> {
+    match s {
+        "a" => Some(AccountKind::ExternallyOwned),
+        "c" => Some(AccountKind::Contract),
+        _ => None,
+    }
+}
+
+fn parse_address(s: &str) -> Option<Address> {
+    let hex = s.strip_prefix("0x")?;
+    if hex.len() != 40 {
+        return None;
+    }
+    let mut bytes = [0u8; 20];
+    for (i, chunk) in hex.as_bytes().chunks(2).enumerate() {
+        let hi = (chunk[0] as char).to_digit(16)?;
+        let lo = (chunk[1] as char).to_digit(16)?;
+        bytes[i] = (hi * 16 + lo) as u8;
+    }
+    Some(Address::from_bytes(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> InteractionLog {
+        let mut log = InteractionLog::new();
+        log.push(Interaction::new(
+            Timestamp::from_secs(10),
+            Address::from_index(1),
+            Address::from_index(2),
+        ));
+        log.push(Interaction {
+            weight: 5,
+            to_kind: AccountKind::Contract,
+            ..Interaction::new(
+                Timestamp::from_secs(20),
+                Address::from_index(2),
+                Address::from_index(3),
+            )
+        });
+        log
+    }
+
+    #[test]
+    fn trace_roundtrip() {
+        let log = sample_log();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &log).unwrap();
+        let log2 = read_trace(&buf[..]).unwrap();
+        assert_eq!(log.events(), log2.events());
+    }
+
+    #[test]
+    fn read_skips_comments_and_blanks() {
+        let text = "# header\n\n10 0x0000000000000000000000000000000000000001 0x0000000000000000000000000000000000000002 1 a a\n";
+        let log = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn read_rejects_short_lines() {
+        let err = read_trace("10 0xabc".as_bytes()).unwrap_err();
+        assert!(matches!(err, ReadTraceError::Parse { line: 1, .. }));
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn read_rejects_bad_kind() {
+        let text = "10 0x0000000000000000000000000000000000000001 0x0000000000000000000000000000000000000002 1 a z\n";
+        let err = read_trace(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("kind"));
+    }
+
+    #[test]
+    fn read_rejects_out_of_order() {
+        let a = "0x0000000000000000000000000000000000000001";
+        let text = format!("10 {a} {a} 1 a a\n5 {a} {a} 1 a a\n");
+        let err = read_trace(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("non-decreasing"));
+    }
+
+    #[test]
+    fn parse_address_validates() {
+        assert!(parse_address("0x00").is_none());
+        assert!(parse_address("no-prefix").is_none());
+        assert!(parse_address("0xzz00000000000000000000000000000000000000").is_none());
+        let a = parse_address("0x00000000000000000000000000000000000000ff").unwrap();
+        assert_eq!(a.as_bytes()[19], 0xff);
+    }
+
+    #[test]
+    fn metis_graph_format() {
+        let csr = crate::Csr::from_edges(3, &[(0, 1, 5), (1, 2, 7)]);
+        let mut buf = Vec::new();
+        write_metis_graph(&mut buf, &csr).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4); // header + 3 vertices
+        assert_eq!(lines[0], "3 2 011");
+        // vertex 1 (middle of the path): unit weight... vertex weights here
+        // come from Csr::from_edges (all 1)
+        assert_eq!(lines[2], "1 1 5 3 7"); // vwgt, (n1, w), (n3, w) 1-based
+    }
+
+    #[test]
+    fn dot_output_shape() {
+        let g = InteractionLog::graph_of(sample_log().events());
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("style=dashed")); // the contract
+        assert!(dot.contains("label=\"5\"")); // the weighted edge
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

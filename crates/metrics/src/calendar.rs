@@ -1,0 +1,83 @@
+//! Month labelling aligned with the paper's figure axes.
+//!
+//! The simulation epoch is Ethereum's genesis (2015-07-30), so month
+//! offset 0 covers August 2015 and the labels run `08.15`, `09.15`, …,
+//! `01.18` exactly like the x-axes of Fig. 1 and Fig. 3.
+
+use blockpart_types::Timestamp;
+
+/// Average month length used to convert timestamps to month offsets
+/// (30.4375 days — matches the generator's timeline).
+pub const MONTH_SECS: u64 = 2_629_800;
+
+/// The month offset (0 = August 2015) containing `t`.
+///
+/// # Examples
+///
+/// ```
+/// use blockpart_metrics::calendar::{month_index, MONTH_SECS};
+/// use blockpart_types::Timestamp;
+///
+/// assert_eq!(month_index(Timestamp::EPOCH), 0);
+/// assert_eq!(month_index(Timestamp::from_secs(MONTH_SECS * 3 + 1)), 3);
+/// ```
+pub fn month_index(t: Timestamp) -> usize {
+    (t.as_secs() / MONTH_SECS) as usize
+}
+
+/// The start of month offset `m`.
+pub fn month_start(m: usize) -> Timestamp {
+    Timestamp::from_secs(m as u64 * MONTH_SECS)
+}
+
+/// Formats a month offset as the paper's `MM.YY` axis label
+/// (offset 0 → `08.15`).
+///
+/// # Examples
+///
+/// ```
+/// use blockpart_metrics::calendar::month_label;
+///
+/// assert_eq!(month_label(0), "08.15");
+/// assert_eq!(month_label(5), "01.16");
+/// assert_eq!(month_label(29), "01.18");
+/// ```
+pub fn month_label(m: usize) -> String {
+    // offset 0 = August 2015 (calendar month 8 of year 15)
+    let absolute = 8 + m; // months since January 2015, 1-based-ish
+    let month = (absolute - 1) % 12 + 1;
+    let year = 15 + (absolute - 1) / 12;
+    format!("{month:02}.{year:02}")
+}
+
+/// Formats the timestamp's month as `MM.YY`.
+pub fn label_of(t: Timestamp) -> String {
+    month_label(month_index(t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_wrap_years() {
+        assert_eq!(month_label(0), "08.15");
+        assert_eq!(month_label(4), "12.15");
+        assert_eq!(month_label(5), "01.16");
+        assert_eq!(month_label(16), "12.16");
+        assert_eq!(month_label(17), "01.17");
+    }
+
+    #[test]
+    fn index_and_start_roundtrip() {
+        for m in [0usize, 1, 12, 29] {
+            assert_eq!(month_index(month_start(m)), m);
+        }
+    }
+
+    #[test]
+    fn label_of_timestamp() {
+        assert_eq!(label_of(Timestamp::EPOCH), "08.15");
+        assert_eq!(label_of(month_start(17)), "01.17");
+    }
+}

@@ -1,0 +1,148 @@
+//! Log-binned histograms, for degree and activity distributions.
+
+use serde::{Deserialize, Serialize};
+
+/// A base-2 log-binned histogram of non-negative integers: bin `i` counts
+/// values in `[2^i, 2^(i+1))`, with a dedicated zero bin.
+///
+/// Heavy-tailed distributions (blockchain degrees, account activity) are
+/// unreadable in linear bins; log bins make the power-law slope visible.
+///
+/// # Examples
+///
+/// ```
+/// use blockpart_metrics::LogHistogram;
+///
+/// let h: LogHistogram = [0u64, 1, 1, 2, 3, 700].into_iter().collect();
+/// assert_eq!(h.zero_count(), 1);
+/// assert_eq!(h.count(), 6);
+/// assert_eq!(h.bin_for(700), 9); // 2^9 = 512 <= 700 < 1024
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    zero: u64,
+    bins: Vec<u64>,
+    total: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LogHistogram::default()
+    }
+
+    /// Adds one observation.
+    pub fn record(&mut self, value: u64) {
+        self.total += 1;
+        self.sum += u128::from(value);
+        self.max = self.max.max(value);
+        if value == 0 {
+            self.zero += 1;
+            return;
+        }
+        let bin = Self::bin_of(value);
+        if self.bins.len() <= bin {
+            self.bins.resize(bin + 1, 0);
+        }
+        self.bins[bin] += 1;
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of zero observations.
+    pub fn zero_count(&self) -> u64 {
+        self.zero
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of all observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The bin index a value would land in (zero goes to the zero bin and
+    /// reports bin 0 here for display purposes).
+    pub fn bin_for(&self, value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            Self::bin_of(value)
+        }
+    }
+
+    /// `(lower_bound, count)` per non-empty bin, ascending.
+    pub fn bins(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.bins
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (1u64 << i, c))
+    }
+
+    fn bin_of(value: u64) -> usize {
+        (63 - value.leading_zeros()) as usize
+    }
+}
+
+impl Extend<u64> for LogHistogram {
+    fn extend<I: IntoIterator<Item = u64>>(&mut self, iter: I) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+impl FromIterator<u64> for LogHistogram {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let mut h = LogHistogram::new();
+        h.extend(iter);
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_boundaries() {
+        let h = LogHistogram::new();
+        assert_eq!(h.bin_for(1), 0);
+        assert_eq!(h.bin_for(2), 1);
+        assert_eq!(h.bin_for(3), 1);
+        assert_eq!(h.bin_for(4), 2);
+        assert_eq!(h.bin_for(u64::MAX), 63);
+    }
+
+    #[test]
+    fn record_and_stats() {
+        let h: LogHistogram = [0u64, 0, 1, 4, 5, 16].into_iter().collect();
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.zero_count(), 2);
+        assert_eq!(h.max(), 16);
+        assert!((h.mean() - 26.0 / 6.0).abs() < 1e-12);
+        let bins: Vec<_> = h.bins().collect();
+        assert_eq!(bins, vec![(1, 1), (4, 2), (16, 1)]);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.bins().count(), 0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Plain-text table rendering for the bench binaries.
+
+use std::fmt;
+
+/// A simple column-aligned table with ASCII and CSV renderers.
+///
+/// # Examples
+///
+/// ```
+/// use blockpart_metrics::Table;
+///
+/// let mut t = Table::new(vec!["method", "edge-cut"]);
+/// t.row(vec!["hash".into(), "0.50".into()]);
+/// t.row(vec!["metis".into(), "0.05".into()]);
+/// let ascii = t.render_ascii();
+/// assert!(ascii.contains("method"));
+/// assert_eq!(t.render_csv().lines().count(), 3);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's length differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row has {} cells, table has {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with padded, space-separated columns and a separator rule.
+    pub fn render_ascii(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&format!("{cell:<width$}", width = widths[i]));
+            }
+            out.push('\n');
+        };
+        render_row(&self.headers, &mut out);
+        let rule_len = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        out.push_str(&"-".repeat(rule_len));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(row, &mut out);
+        }
+        out
+    }
+
+    /// Renders as comma-separated values, header first. Cells containing
+    /// commas or quotes are quoted.
+    pub fn render_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_ascii())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_alignment() {
+        let mut t = Table::new(vec!["a", "bbbb"]);
+        t.row(vec!["xxxxxx".into(), "y".into()]);
+        let s = t.render_ascii();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // columns align: header 'bbbb' starts at same offset as 'y'
+        assert_eq!(lines[0].find("bbbb"), lines[2].find('y'));
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new(vec!["x"]);
+        t.row(vec!["has,comma".into()]);
+        t.row(vec!["has\"quote".into()]);
+        let csv = t.render_csv();
+        assert!(csv.contains("\"has,comma\""));
+        assert!(csv.contains("\"has\"\"quote\""));
+    }
+
+    #[test]
+    fn empty_table_renders_headers() {
+        let t = Table::new(vec!["only"]);
+        assert!(t.is_empty());
+        assert!(t.render_ascii().contains("only"));
+        assert_eq!(t.render_csv(), "only\n");
+    }
+
+    #[test]
+    fn display_matches_ascii() {
+        let mut t = Table::new(vec!["h"]);
+        t.row(vec!["v".into()]);
+        assert_eq!(t.to_string(), t.render_ascii());
+    }
+}

@@ -1,0 +1,270 @@
+//! The classic Kernighan–Lin bisection heuristic (Bell System Technical
+//! Journal, 1970).
+
+use blockpart_graph::Csr;
+
+use crate::partition::Partition;
+
+/// Runs one Kernighan–Lin improvement pass over a bisection.
+///
+/// The pass greedily picks vertex *pairs* (one from each side) whose swap
+/// maximizes the cut reduction, tentatively swaps and locks them, and at
+/// the end commits the prefix of swaps with the best cumulative gain.
+/// Returns the total gain committed (0 when the pass found no improving
+/// prefix). Swapping pairs preserves the side sizes exactly, which is the
+/// hallmark of KL (as opposed to FM's single-vertex moves).
+///
+/// This is `O(p · n²)` for `p` committed pairs and meant for modest graphs
+/// (the coarsest level of a multilevel scheme, tests, ablations).
+///
+/// # Panics
+///
+/// Panics if `partition` is not a bisection (`k != 2`) or its length does
+/// not match `csr`.
+///
+/// # Examples
+///
+/// ```
+/// use blockpart_graph::Csr;
+/// use blockpart_partition::kl::kl_bisection_pass;
+/// use blockpart_partition::Partition;
+/// use blockpart_types::ShardCount;
+///
+/// // Two cliques bridged by one edge, but started with a bad split.
+/// let csr = Csr::from_edges(
+///     4,
+///     &[(0, 1, 5), (2, 3, 5), (1, 2, 1)],
+/// );
+/// let mut p = Partition::from_assignment(vec![0, 1, 0, 1], ShardCount::TWO).unwrap();
+/// let gain = kl_bisection_pass(&csr, &mut p);
+/// assert!(gain > 0);
+/// assert_eq!(p.shard_of(0), p.shard_of(1));
+/// assert_eq!(p.shard_of(2), p.shard_of(3));
+/// ```
+pub fn kl_bisection_pass(csr: &Csr, partition: &mut Partition) -> i64 {
+    assert_eq!(partition.shard_count().get(), 2, "KL requires a bisection");
+    assert_eq!(partition.len(), csr.node_count(), "partition length mismatch");
+    let n = csr.node_count();
+    if n < 2 {
+        return 0;
+    }
+
+    // side[v] in {0,1}; D[v] = external - internal connection weight.
+    let mut side: Vec<u8> = partition.as_slice().iter().map(|&s| s as u8).collect();
+    let mut d = compute_d(csr, &side);
+    let mut locked = vec![false; n];
+
+    // Tentative swap sequence with cumulative gains.
+    let mut swaps: Vec<(usize, usize)> = Vec::new();
+    let mut gains: Vec<i64> = Vec::new();
+    let max_pairs = n / 2;
+
+    for _ in 0..max_pairs {
+        // Find the unlocked pair (a on side 0, b on side 1) maximizing
+        // D[a] + D[b] - 2 w(a,b).
+        let mut best: Option<(usize, usize, i64)> = None;
+        for a in 0..n {
+            if locked[a] || side[a] != 0 {
+                continue;
+            }
+            for b in 0..n {
+                if locked[b] || side[b] != 1 {
+                    continue;
+                }
+                let w_ab = edge_weight(csr, a, b);
+                let gain = d[a] + d[b] - 2 * w_ab as i64;
+                if best.map_or(true, |(_, _, g)| gain > g) {
+                    best = Some((a, b, gain));
+                }
+            }
+        }
+        let Some((a, b, gain)) = best else { break };
+        swaps.push((a, b));
+        gains.push(gain);
+        locked[a] = true;
+        locked[b] = true;
+        // Tentatively swap sides and update D for unlocked vertices.
+        side[a] = 1;
+        side[b] = 0;
+        update_d_after_swap(csr, &mut d, &side, &locked, a, b);
+    }
+
+    // Best prefix.
+    let mut best_prefix = 0usize;
+    let mut best_total = 0i64;
+    let mut running = 0i64;
+    for (i, &g) in gains.iter().enumerate() {
+        running += g;
+        if running > best_total {
+            best_total = running;
+            best_prefix = i + 1;
+        }
+    }
+    if best_total <= 0 {
+        return 0;
+    }
+    // Commit: apply only the best prefix of swaps to the real partition.
+    for &(a, b) in &swaps[..best_prefix] {
+        let sa = partition.shard_of(a);
+        let sb = partition.shard_of(b);
+        partition.assign(a, sb);
+        partition.assign(b, sa);
+    }
+    best_total
+}
+
+/// Repeats [`kl_bisection_pass`] until a pass yields no gain, returning the
+/// total gain. `max_passes` bounds the work.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`kl_bisection_pass`].
+pub fn refine_bisection(csr: &Csr, partition: &mut Partition, max_passes: usize) -> i64 {
+    let mut total = 0;
+    for _ in 0..max_passes {
+        let gain = kl_bisection_pass(csr, partition);
+        if gain == 0 {
+            break;
+        }
+        total += gain;
+    }
+    total
+}
+
+fn compute_d(csr: &Csr, side: &[u8]) -> Vec<i64> {
+    (0..csr.node_count())
+        .map(|v| {
+            let mut external = 0i64;
+            let mut internal = 0i64;
+            for (u, w) in csr.neighbors(v) {
+                if side[u as usize] == side[v] {
+                    internal += w as i64;
+                } else {
+                    external += w as i64;
+                }
+            }
+            external - internal
+        })
+        .collect()
+}
+
+fn update_d_after_swap(
+    csr: &Csr,
+    d: &mut [i64],
+    side: &[u8],
+    locked: &[bool],
+    a: usize,
+    b: usize,
+) {
+    // After a and b switched sides, recompute D for their unlocked
+    // neighbours from scratch (cheap relative to the pair search).
+    for v in csr
+        .neighbors(a)
+        .chain(csr.neighbors(b))
+        .map(|(u, _)| u as usize)
+    {
+        if !locked[v] {
+            let mut external = 0i64;
+            let mut internal = 0i64;
+            for (u, w) in csr.neighbors(v) {
+                if side[u as usize] == side[v] {
+                    internal += w as i64;
+                } else {
+                    external += w as i64;
+                }
+            }
+            d[v] = external - internal;
+        }
+    }
+}
+
+fn edge_weight(csr: &Csr, a: usize, b: usize) -> u64 {
+    csr.neighbors(a)
+        .find(|&(u, _)| u as usize == b)
+        .map_or(0, |(_, w)| w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::CutMetrics;
+    use blockpart_types::ShardCount;
+
+    fn two_cliques() -> Csr {
+        // cliques {0,1,2} and {3,4,5}, one bridge 2-3
+        Csr::from_edges(
+            6,
+            &[
+                (0, 1, 4),
+                (1, 2, 4),
+                (0, 2, 4),
+                (3, 4, 4),
+                (4, 5, 4),
+                (3, 5, 4),
+                (2, 3, 1),
+            ],
+        )
+    }
+
+    #[test]
+    fn recovers_natural_bisection_from_bad_start() {
+        let csr = two_cliques();
+        // interleaved (worst) start
+        let mut p =
+            Partition::from_assignment(vec![0, 1, 0, 1, 0, 1], ShardCount::TWO).unwrap();
+        let before = CutMetrics::compute(&csr, &p).cut_weight;
+        let gain = refine_bisection(&csr, &mut p, 10);
+        let after = CutMetrics::compute(&csr, &p).cut_weight;
+        assert_eq!(before - after, gain as u64);
+        assert_eq!(after, 1); // only the bridge remains cut
+    }
+
+    #[test]
+    fn preserves_side_sizes() {
+        let csr = two_cliques();
+        let mut p =
+            Partition::from_assignment(vec![0, 1, 0, 1, 0, 1], ShardCount::TWO).unwrap();
+        refine_bisection(&csr, &mut p, 10);
+        assert_eq!(p.shard_sizes(), vec![3, 3]);
+    }
+
+    #[test]
+    fn no_gain_on_optimal_partition() {
+        let csr = two_cliques();
+        let mut p =
+            Partition::from_assignment(vec![0, 0, 0, 1, 1, 1], ShardCount::TWO).unwrap();
+        assert_eq!(kl_bisection_pass(&csr, &mut p), 0);
+        assert_eq!(
+            p,
+            Partition::from_assignment(vec![0, 0, 0, 1, 1, 1], ShardCount::TWO).unwrap()
+        );
+    }
+
+    #[test]
+    fn handles_tiny_graphs() {
+        let csr = Csr::from_edges(1, &[]);
+        let mut p = Partition::all_on_first(1, ShardCount::TWO);
+        assert_eq!(kl_bisection_pass(&csr, &mut p), 0);
+        let empty = Csr::from_edges(0, &[]);
+        let mut pe = Partition::all_on_first(0, ShardCount::TWO);
+        assert_eq!(kl_bisection_pass(&empty, &mut pe), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bisection")]
+    fn rejects_kway() {
+        let csr = Csr::from_edges(2, &[(0, 1, 1)]);
+        let mut p = Partition::all_on_first(2, ShardCount::new(3).unwrap());
+        let _ = kl_bisection_pass(&csr, &mut p);
+    }
+
+    #[test]
+    fn gain_never_negative() {
+        // a case where any single swap is bad: gain must be 0, partition kept
+        let csr = Csr::from_edges(4, &[(0, 1, 10), (2, 3, 10)]);
+        let mut p = Partition::from_assignment(vec![0, 0, 1, 1], ShardCount::TWO).unwrap();
+        let before = p.clone();
+        assert_eq!(kl_bisection_pass(&csr, &mut p), 0);
+        assert_eq!(p, before);
+    }
+}

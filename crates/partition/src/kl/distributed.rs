@@ -1,0 +1,323 @@
+//! The paper's distributed Kernighan–Lin method: shard-local proposals and
+//! an oracle-computed move-probability matrix.
+
+use blockpart_types::ShardId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::hashing::HashPartitioner;
+use crate::partition::Partition;
+use crate::traits::{PartitionRequest, Partitioner};
+
+/// Tuning knobs for [`DistributedKl`].
+///
+/// # Examples
+///
+/// ```
+/// use blockpart_partition::kl::DistributedKlConfig;
+///
+/// let cfg = DistributedKlConfig {
+///     rounds: 4,
+///     ..DistributedKlConfig::default()
+/// };
+/// assert_eq!(cfg.rounds, 4);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DistributedKlConfig {
+    /// Proposal/exchange rounds per invocation. Each round is one full
+    /// shard-select → oracle → exchange cycle.
+    pub rounds: usize,
+    /// Fraction of the average shard weight that a shard may exceed while
+    /// the oracle still allows inbound flow. Smaller is stricter balance.
+    pub slack: f64,
+    /// Multiplier applied to every move probability. Without damping all
+    /// boundary vertices of a symmetric cut move at once and merely swap
+    /// sides; a factor below 1 breaks the oscillation (the same reason
+    /// balanced label propagation moves only a fraction per round).
+    pub damping: f64,
+    /// RNG seed; the method applies moves probabilistically as the paper
+    /// describes, so the seed makes runs reproducible.
+    pub seed: u64,
+}
+
+impl Default for DistributedKlConfig {
+    fn default() -> Self {
+        DistributedKlConfig {
+            rounds: 8,
+            slack: 0.005,
+            damping: 0.5,
+            seed: 0x6b6c,
+        }
+    }
+}
+
+/// The distributed KL method of §II-C.
+///
+/// Starting from the installed partition (or hashing when none exists),
+/// each round:
+///
+/// 1. **Shard-local selection** — every vertex computes its connectivity to
+///    each shard from the request graph; a vertex whose strongest external
+///    shard beats its home shard proposes to move there (positive gain);
+/// 2. **Oracle** — proposals are aggregated into a k×k weight matrix `W`.
+///    The oracle converts it into a probability matrix `P` that caps each
+///    directed flow `s → t` at the matched reverse flow plus half the
+///    current weight surplus of `s` over `t` (so exchanges keep shards
+///    dynamically balanced);
+/// 3. **Exchange** — each proposing vertex moves with probability
+///    `P[s][t]`, drawn from the seeded RNG.
+///
+/// The method optimizes toward a local minimum (the paper's noted pitfall)
+/// and typically moves many vertices in the process.
+///
+/// # Examples
+///
+/// ```
+/// use blockpart_graph::Csr;
+/// use blockpart_partition::{DistributedKl, PartitionRequest, Partitioner};
+/// use blockpart_types::ShardCount;
+///
+/// let csr = Csr::from_edges(
+///     6,
+///     &[(0, 1, 9), (1, 2, 9), (0, 2, 9), (3, 4, 9), (4, 5, 9), (3, 5, 9), (2, 3, 1)],
+/// );
+/// let mut kl = DistributedKl::with_seed(7);
+/// let p = kl.partition(&PartitionRequest::new(&csr, ShardCount::TWO));
+/// assert_eq!(p.len(), 6);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DistributedKl {
+    config: DistributedKlConfig,
+    invocation: u64,
+}
+
+impl DistributedKl {
+    /// Creates the method with the given configuration.
+    pub fn new(config: DistributedKlConfig) -> Self {
+        DistributedKl {
+            config,
+            invocation: 0,
+        }
+    }
+
+    /// Creates the method with default tuning and the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        DistributedKl::new(DistributedKlConfig {
+            seed,
+            ..DistributedKlConfig::default()
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DistributedKlConfig {
+        &self.config
+    }
+}
+
+impl Default for DistributedKl {
+    fn default() -> Self {
+        DistributedKl::new(DistributedKlConfig::default())
+    }
+}
+
+impl Partitioner for DistributedKl {
+    fn name(&self) -> &str {
+        "kl"
+    }
+
+    fn partition(&mut self, req: &PartitionRequest<'_>) -> Partition {
+        let n = req.csr.node_count();
+        let k = req.k;
+        let mut part = match req.previous {
+            Some(p) if p.len() == n && p.shard_count() == k => p.clone(),
+            _ => HashPartitioner::new().partition(req),
+        };
+        // Each invocation gets a distinct-but-deterministic RNG stream.
+        let mut rng = SmallRng::seed_from_u64(
+            self.config.seed ^ self.invocation.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        self.invocation += 1;
+
+        for _ in 0..self.config.rounds {
+            one_round(req, &mut part, &self.config, &mut rng);
+        }
+        part
+    }
+}
+
+/// One select → oracle → exchange cycle. Returns the number of moves.
+fn one_round(
+    req: &PartitionRequest<'_>,
+    part: &mut Partition,
+    config: &DistributedKlConfig,
+    rng: &mut SmallRng,
+) -> usize {
+    let csr = req.csr;
+    let k = req.k.as_usize();
+    let n = csr.node_count();
+
+    // -- Phase 1: shard-local candidate selection ------------------------
+    // candidate: (vertex, source shard, target shard)
+    let mut candidates: Vec<(usize, usize, usize)> = Vec::new();
+    let mut conn = vec![0u64; k];
+    for v in 0..n {
+        for c in conn.iter_mut() {
+            *c = 0;
+        }
+        for (u, w) in csr.neighbors(v) {
+            conn[part.shard_of(u as usize).as_usize()] += w;
+        }
+        let home = part.shard_of(v).as_usize();
+        let (best_t, best_w) = conn
+            .iter()
+            .enumerate()
+            .filter(|&(t, _)| t != home)
+            .max_by_key(|&(t, w)| (*w, std::cmp::Reverse(t)))
+            .map(|(t, &w)| (t, w))
+            .unwrap_or((home, 0));
+        if best_w > conn[home] {
+            candidates.push((v, home, best_t));
+        }
+    }
+    if candidates.is_empty() {
+        return 0;
+    }
+
+    // -- Phase 2: the oracle ---------------------------------------------
+    let vwgt = csr.vertex_weights();
+    let mut proposed = vec![vec![0u64; k]; k]; // W[s][t]
+    for &(v, s, t) in &candidates {
+        proposed[s][t] += vwgt[v];
+    }
+    let shard_weights = part.shard_weights(vwgt);
+    let avg = csr.total_vertex_weight() as f64 / k as f64;
+    let slack_w = (avg * config.slack).ceil() as u64;
+
+    let mut allowed = vec![vec![0u64; k]; k];
+    for s in 0..k {
+        for t in 0..k {
+            if s == t || proposed[s][t] == 0 {
+                continue;
+            }
+            // Matched exchange keeps balance; surplus flow lets an
+            // overweight shard drain toward a lighter one.
+            let surplus = shard_weights[s].saturating_sub(shard_weights[t]) / 4;
+            allowed[s][t] = proposed[s][t].min(proposed[t][s] + surplus + slack_w);
+        }
+    }
+    let prob: Vec<Vec<f64>> = (0..k)
+        .map(|s| {
+            (0..k)
+                .map(|t| {
+                    if proposed[s][t] == 0 {
+                        0.0
+                    } else {
+                        (allowed[s][t] as f64 / proposed[s][t] as f64) * config.damping
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    // -- Phase 3: probabilistic exchange ----------------------------------
+    let mut moves = 0usize;
+    for &(v, s, t) in &candidates {
+        if rng.gen::<f64>() < prob[s][t] {
+            part.assign(v, ShardId::new(t as u16));
+            moves += 1;
+        }
+    }
+    moves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::CutMetrics;
+    use blockpart_graph::Csr;
+    use blockpart_types::ShardCount;
+
+    fn two_communities(bridge_w: u64) -> Csr {
+        let mut edges = Vec::new();
+        // community A: 0..8, community B: 8..16, cliques
+        for a in 0..8u32 {
+            for b in (a + 1)..8 {
+                edges.push((a, b, 5));
+                edges.push((a + 8, b + 8, 5));
+            }
+        }
+        edges.push((7, 8, bridge_w));
+        Csr::from_edges(16, &edges)
+    }
+
+    #[test]
+    fn reduces_edge_cut_from_hash_start() {
+        let csr = two_communities(1);
+        let mut kl = DistributedKl::with_seed(42);
+        let req = PartitionRequest::new(&csr, ShardCount::TWO);
+        let p = kl.partition(&req);
+        let m = CutMetrics::compute(&csr, &p);
+        // hashing would cut ~50% of intra-community edges; KL should find
+        // a much better local minimum.
+        let mut hash = HashPartitioner::new();
+        let hm = CutMetrics::compute(&csr, &hash.partition(&req));
+        assert!(
+            m.dynamic_edge_cut < hm.dynamic_edge_cut,
+            "kl {} vs hash {}",
+            m.dynamic_edge_cut,
+            hm.dynamic_edge_cut
+        );
+    }
+
+    #[test]
+    fn is_deterministic_per_seed() {
+        let csr = two_communities(1);
+        let req = PartitionRequest::new(&csr, ShardCount::TWO);
+        let p1 = DistributedKl::with_seed(7).partition(&req);
+        let p2 = DistributedKl::with_seed(7).partition(&req);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn refines_previous_partition() {
+        let csr = two_communities(1);
+        // previous: perfect split. KL should keep it (no gain available).
+        let assignment: Vec<u16> = (0..16).map(|v| u16::from(v >= 8)).collect();
+        let prev = Partition::from_assignment(assignment, ShardCount::TWO).unwrap();
+        let req = PartitionRequest::new(&csr, ShardCount::TWO).with_previous(&prev);
+        let p = DistributedKl::with_seed(3).partition(&req);
+        assert_eq!(CutMetrics::compute(&csr, &p).cut_edges, 1);
+    }
+
+    #[test]
+    fn keeps_balance_within_slack() {
+        let csr = two_communities(1);
+        let mut kl = DistributedKl::new(DistributedKlConfig {
+            rounds: 12,
+            slack: 0.05,
+            seed: 11,
+            ..DistributedKlConfig::default()
+        });
+        let p = kl.partition(&PartitionRequest::new(&csr, ShardCount::TWO));
+        let m = CutMetrics::compute(&csr, &p);
+        // all vertices have equal weight here, so dynamic balance should be
+        // far from the degenerate "everything on one shard" value of 2.
+        assert!(m.dynamic_balance < 1.6, "balance {}", m.dynamic_balance);
+    }
+
+    #[test]
+    fn handles_empty_graph() {
+        let csr = Csr::from_edges(0, &[]);
+        let p = DistributedKl::default().partition(&PartitionRequest::new(&csr, ShardCount::TWO));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn works_with_more_shards() {
+        let csr = two_communities(1);
+        let k = ShardCount::new(4).unwrap();
+        let p = DistributedKl::with_seed(5).partition(&PartitionRequest::new(&csr, k));
+        assert_eq!(p.shard_count(), k);
+        assert_eq!(p.len(), 16);
+    }
+}

@@ -1,0 +1,225 @@
+//! Greedy k-way boundary refinement used during uncoarsening.
+
+use blockpart_graph::Csr;
+use blockpart_types::{ShardCount, ShardId};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+
+use crate::partition::Partition;
+
+/// The per-shard weight ceilings implied by an imbalance factor:
+/// `ceil(total_weight / k · imbalance)`.
+///
+/// # Examples
+///
+/// ```
+/// use blockpart_graph::Csr;
+/// use blockpart_partition::multilevel::refine::max_shard_weights;
+/// use blockpart_types::ShardCount;
+///
+/// let csr = Csr::from_edges(4, &[(0, 1, 1)]);
+/// let max = max_shard_weights(&csr, ShardCount::TWO, 1.05);
+/// assert_eq!(max, vec![3, 3]); // ceil(4 / 2 * 1.05) = 3
+/// ```
+pub fn max_shard_weights(csr: &Csr, k: ShardCount, imbalance: f64) -> Vec<u64> {
+    let ideal = csr.total_vertex_weight() as f64 / k.as_usize() as f64;
+    vec![(ideal * imbalance).ceil() as u64; k.as_usize()]
+}
+
+/// Greedy k-way refinement: repeatedly sweep the vertices in random order,
+/// moving each to the shard it is most connected to, provided the move has
+/// positive gain (or zero gain but improves balance) and the destination
+/// stays under its weight ceiling.
+///
+/// Returns the total edge-weight gain over all passes. This is the
+/// workhorse of uncoarsening: each pass is `O(V + E)`.
+///
+/// # Panics
+///
+/// Panics if `partition.len() != csr.node_count()` or
+/// `max_weights.len() != k`.
+///
+/// # Examples
+///
+/// ```
+/// use blockpart_graph::Csr;
+/// use blockpart_partition::multilevel::refine::{kway_refine, max_shard_weights};
+/// use blockpart_partition::Partition;
+/// use blockpart_types::ShardCount;
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// let csr = Csr::from_edges(4, &[(0, 1, 9), (2, 3, 9), (1, 2, 1)]);
+/// let mut p = Partition::from_assignment(vec![0, 1, 0, 1], ShardCount::TWO).unwrap();
+/// let max = max_shard_weights(&csr, ShardCount::TWO, 1.2);
+/// let mut rng = SmallRng::seed_from_u64(0);
+/// let gain = kway_refine(&csr, &mut p, &max, 8, &mut rng);
+/// assert!(gain > 0);
+/// ```
+pub fn kway_refine(
+    csr: &Csr,
+    partition: &mut Partition,
+    max_weights: &[u64],
+    max_passes: usize,
+    rng: &mut SmallRng,
+) -> i64 {
+    let n = csr.node_count();
+    let k = partition.shard_count().as_usize();
+    assert_eq!(partition.len(), n, "partition length mismatch");
+    assert_eq!(max_weights.len(), k, "max_weights length mismatch");
+    if n == 0 || k < 2 {
+        return 0;
+    }
+
+    let mut shard_weights = partition.shard_weights(csr.vertex_weights());
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut conn = vec![0u64; k];
+    let mut total_gain = 0i64;
+
+    for _ in 0..max_passes {
+        order.shuffle(rng);
+        let mut pass_gain = 0i64;
+        let mut moved = 0usize;
+        for &v in &order {
+            let v = v as usize;
+            if csr.degree(v) == 0 {
+                continue;
+            }
+            for c in conn.iter_mut() {
+                *c = 0;
+            }
+            for (u, w) in csr.neighbors(v) {
+                conn[partition.shard_of(u as usize).as_usize()] += w;
+            }
+            let home = partition.shard_of(v).as_usize();
+            let vw = csr.vertex_weight(v);
+
+            let mut best: Option<(usize, i64)> = None;
+            for t in 0..k {
+                if t == home || shard_weights[t] + vw > max_weights[t] {
+                    continue;
+                }
+                let gain = conn[t] as i64 - conn[home] as i64;
+                let candidate_better = match best {
+                    None => true,
+                    Some((bt, bg)) => {
+                        gain > bg || (gain == bg && shard_weights[t] < shard_weights[bt])
+                    }
+                };
+                if candidate_better {
+                    best = Some((t, gain));
+                }
+            }
+            if let Some((t, gain)) = best {
+                let improves_balance = shard_weights[t] + vw < shard_weights[home];
+                if gain > 0 || (gain == 0 && improves_balance) {
+                    shard_weights[home] -= vw;
+                    shard_weights[t] += vw;
+                    partition.assign(v, ShardId::new(t as u16));
+                    pass_gain += gain;
+                    moved += 1;
+                }
+            }
+        }
+        total_gain += pass_gain;
+        if moved == 0 {
+            break;
+        }
+    }
+    total_gain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::CutMetrics;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(5)
+    }
+
+    fn k(n: u16) -> ShardCount {
+        ShardCount::new(n).unwrap()
+    }
+
+    #[test]
+    fn fixes_interleaved_partition() {
+        // 4 cliques of 4; k = 4; start interleaved
+        let mut edges = Vec::new();
+        for c in 0..4u32 {
+            let b = c * 4;
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    edges.push((b + i, b + j, 10));
+                }
+            }
+        }
+        // light ring between cliques
+        for c in 0..4u32 {
+            edges.push((c * 4, ((c + 1) % 4) * 4, 1));
+        }
+        let csr = Csr::from_edges(16, &edges);
+        let assignment: Vec<u16> = (0..16).map(|v| (v % 4) as u16).collect();
+        let mut p = Partition::from_assignment(assignment, k(4)).unwrap();
+        let before = CutMetrics::compute(&csr, &p).cut_weight;
+        let max = max_shard_weights(&csr, k(4), 1.1);
+        let gain = kway_refine(&csr, &mut p, &max, 16, &mut rng());
+        let after = CutMetrics::compute(&csr, &p).cut_weight;
+        assert_eq!(before - after, gain as u64);
+        assert!(after <= 8, "cut weight {after}");
+    }
+
+    #[test]
+    fn respects_weight_ceilings() {
+        // star: hub 0 connected to 9 leaves; ceilings prevent all vertices
+        // from collapsing onto the hub's shard.
+        let edges: Vec<(u32, u32, u64)> = (1..10).map(|i| (0, i, 5)).collect();
+        let csr = Csr::from_edges(10, &edges);
+        let assignment: Vec<u16> = (0..10).map(|v| (v % 2) as u16).collect();
+        let mut p = Partition::from_assignment(assignment, k(2)).unwrap();
+        let max = max_shard_weights(&csr, k(2), 1.2); // ceil(5 * 1.2) = 6
+        kway_refine(&csr, &mut p, &max, 8, &mut rng());
+        let weights = p.shard_weights(csr.vertex_weights());
+        assert!(weights.iter().all(|&w| w <= 6), "weights {weights:?}");
+    }
+
+    #[test]
+    fn no_moves_on_optimal() {
+        let csr = Csr::from_edges(4, &[(0, 1, 5), (2, 3, 5)]);
+        let mut p = Partition::from_assignment(vec![0, 0, 1, 1], k(2)).unwrap();
+        let before = p.clone();
+        let max = max_shard_weights(&csr, k(2), 1.5);
+        let gain = kway_refine(&csr, &mut p, &max, 4, &mut rng());
+        assert_eq!(gain, 0);
+        assert_eq!(p, before);
+    }
+
+    #[test]
+    fn zero_gain_moves_require_balance_improvement() {
+        // isolated-ish: two vertices connected, two singletons on shard 0
+        let csr = Csr::from_edges(4, &[(0, 1, 1)]);
+        let mut p = Partition::from_assignment(vec![0, 0, 0, 0], k(2)).unwrap();
+        let max = max_shard_weights(&csr, k(2), 2.0);
+        kway_refine(&csr, &mut p, &max, 4, &mut rng());
+        // degree-0 vertices never move; connected pair stays together.
+        assert_eq!(p.shard_of(0), p.shard_of(1));
+    }
+
+    #[test]
+    fn k1_is_noop() {
+        let csr = Csr::from_edges(3, &[(0, 1, 1), (1, 2, 1)]);
+        let mut p = Partition::all_on_first(3, k(1));
+        let max = max_shard_weights(&csr, k(1), 1.05);
+        assert_eq!(kway_refine(&csr, &mut p, &max, 4, &mut rng()), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_partition_panics() {
+        let csr = Csr::from_edges(3, &[(0, 1, 1)]);
+        let mut p = Partition::all_on_first(2, k(2));
+        let max = max_shard_weights(&csr, k(2), 1.05);
+        let _ = kway_refine(&csr, &mut p, &max, 1, &mut rng());
+    }
+}

@@ -1,0 +1,147 @@
+//! The `Partitioner` abstraction shared by all methods.
+
+use blockpart_graph::Csr;
+use blockpart_types::ShardCount;
+
+use crate::partition::Partition;
+
+/// Everything a partitioner needs to (re)partition a graph.
+///
+/// * `csr` — the symmetric weighted graph;
+/// * `k` — the number of shards;
+/// * `stable_ids` — optional per-vertex stable identifiers (e.g.
+///   [`Address::stable_hash`](blockpart_types::Address::stable_hash)); hash
+///   partitioning uses these so a vertex keeps its shard across graphs.
+///   Falls back to the dense index when absent;
+/// * `previous` — the current assignment, used by incremental methods
+///   (distributed KL refines it rather than starting over).
+///
+/// # Examples
+///
+/// ```
+/// use blockpart_graph::Csr;
+/// use blockpart_partition::PartitionRequest;
+/// use blockpart_types::ShardCount;
+///
+/// let csr = Csr::from_edges(2, &[(0, 1, 1)]);
+/// let req = PartitionRequest::new(&csr, ShardCount::TWO);
+/// assert!(req.stable_ids.is_none());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct PartitionRequest<'a> {
+    /// The graph to partition.
+    pub csr: &'a Csr,
+    /// Number of shards.
+    pub k: ShardCount,
+    /// Stable per-vertex identifiers, parallel to the CSR vertex order.
+    pub stable_ids: Option<&'a [u64]>,
+    /// The partition currently installed, if any.
+    pub previous: Option<&'a Partition>,
+}
+
+impl<'a> PartitionRequest<'a> {
+    /// Creates a request with no stable ids and no previous partition.
+    pub fn new(csr: &'a Csr, k: ShardCount) -> Self {
+        PartitionRequest {
+            csr,
+            k,
+            stable_ids: None,
+            previous: None,
+        }
+    }
+
+    /// Attaches stable per-vertex identifiers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids.len() != csr.node_count()`.
+    pub fn with_stable_ids(mut self, ids: &'a [u64]) -> Self {
+        assert_eq!(ids.len(), self.csr.node_count(), "stable id slice length");
+        self.stable_ids = Some(ids);
+        self
+    }
+
+    /// Attaches the currently-installed partition.
+    pub fn with_previous(mut self, previous: &'a Partition) -> Self {
+        self.previous = Some(previous);
+        self
+    }
+
+    /// The stable id of vertex `v` (dense index when no ids were supplied).
+    pub fn stable_id(&self, v: usize) -> u64 {
+        match self.stable_ids {
+            Some(ids) => ids[v],
+            None => v as u64,
+        }
+    }
+}
+
+/// A graph partitioning algorithm.
+///
+/// Implementations may keep internal state (RNG streams, tuning); calling
+/// [`Partitioner::partition`] twice with the same request and a freshly
+/// constructed partitioner must produce the same result (all provided
+/// implementations are deterministic given their seed).
+///
+/// The trait is object-safe: heterogeneous method tables
+/// (`Vec<Box<dyn Partitioner>>`) drive the study.
+pub trait Partitioner {
+    /// A short human-readable method name ("hash", "metis", …).
+    fn name(&self) -> &str;
+
+    /// Produces an assignment of every vertex in `req.csr` to one of
+    /// `req.k` shards.
+    fn partition(&mut self, req: &PartitionRequest<'_>) -> Partition;
+}
+
+impl<P: Partitioner + ?Sized> Partitioner for Box<P> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn partition(&mut self, req: &PartitionRequest<'_>) -> Partition {
+        (**self).partition(req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hashing::HashPartitioner;
+
+    #[test]
+    fn request_builders() {
+        let csr = Csr::from_edges(3, &[(0, 1, 1)]);
+        let ids = [10u64, 20, 30];
+        let prev = Partition::all_on_first(3, ShardCount::TWO);
+        let req = PartitionRequest::new(&csr, ShardCount::TWO)
+            .with_stable_ids(&ids)
+            .with_previous(&prev);
+        assert_eq!(req.stable_id(1), 20);
+        assert!(req.previous.is_some());
+    }
+
+    #[test]
+    fn stable_id_falls_back_to_index() {
+        let csr = Csr::from_edges(2, &[(0, 1, 1)]);
+        let req = PartitionRequest::new(&csr, ShardCount::TWO);
+        assert_eq!(req.stable_id(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "stable id slice length")]
+    fn wrong_id_length_panics() {
+        let csr = Csr::from_edges(2, &[(0, 1, 1)]);
+        let ids = [1u64];
+        let _ = PartitionRequest::new(&csr, ShardCount::TWO).with_stable_ids(&ids);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mut boxed: Box<dyn Partitioner> = Box::new(HashPartitioner::new());
+        let csr = Csr::from_edges(2, &[(0, 1, 1)]);
+        let p = boxed.partition(&PartitionRequest::new(&csr, ShardCount::TWO));
+        assert_eq!(p.len(), 2);
+        assert_eq!(boxed.name(), "hash");
+    }
+}

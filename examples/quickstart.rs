@@ -1,0 +1,40 @@
+//! Quickstart: synthesize a chain, shard it five ways, print the
+//! edge-cut / balance / moves trade-off table.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use blockpart::core::experiments::{fig5_rows, fig5_table};
+use blockpart::core::{Method, Study};
+use blockpart::ethereum::gen::{ChainGenerator, GeneratorConfig};
+use blockpart::types::ShardCount;
+
+fn main() {
+    // A 14-day toy history (a few thousand transactions). Swap in
+    // `GeneratorConfig::demo_scale(7)` for the full 30-month timeline.
+    let config = GeneratorConfig::test_scale(7);
+    println!("generating synthetic chain (seed {}, scale {})...", config.seed, config.scale);
+    let chain = ChainGenerator::new(config).generate();
+    println!(
+        "  {} blocks, {} transactions, {} interactions, {} contracts\n",
+        chain.chain.block_count(),
+        chain.chain.tx_count(),
+        chain.log.len(),
+        chain.chain.world().contract_count(),
+    );
+
+    println!("running all five methods at k = 2 and k = 8...\n");
+    let result = Study::new(&chain.log)
+        .methods(Method::ALL.to_vec())
+        .shard_counts(vec![ShardCount::TWO, ShardCount::new(8).expect("8 > 0")])
+        .run();
+
+    let rows = fig5_rows(&result);
+    println!("{}", fig5_table(&rows).render_ascii());
+
+    println!("reading the table:");
+    println!("  * HASH never moves a vertex but cuts the most edges;");
+    println!("  * METIS cuts the fewest edges but moves the most state;");
+    println!("  * TR-METIS approaches R-METIS quality with fewer repartitions.");
+}

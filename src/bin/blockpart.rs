@@ -1,0 +1,254 @@
+//! `blockpart` — command-line front end for the partitioning study.
+//!
+//! ```text
+//! blockpart generate --scale 0.001 --seed 42 --out trace.txt
+//! blockpart study    --scale 0.001 --seed 42 --methods hash,metis --shards 2,8
+//! blockpart offline  --scale 0.001 --shards 2     # streaming vs multilevel
+//! blockpart help
+//! ```
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::BufWriter;
+use std::process::ExitCode;
+
+use blockpart::core::ablation::{offline_partitioner_comparison, offline_table};
+use blockpart::core::experiments::{fig5_rows, fig5_table};
+use blockpart::core::{Method, Study};
+use blockpart::ethereum::gen::{ChainGenerator, GeneratorConfig};
+use blockpart::graph::io::write_trace;
+use blockpart::types::ShardCount;
+
+const USAGE: &str = "\
+blockpart — blockchain-graph sharding study (Fynn & Pedone, DSN 2018)
+
+USAGE:
+    blockpart <command> [--key value ...]
+
+COMMANDS:
+    generate   synthesize a 30-month chain and write its trace
+               --scale <f64>   rate fraction        (default 0.0012)
+               --seed <u64>    generator seed        (default 42)
+               --out <path>    trace file            (default trace.txt)
+    study      run partitioning methods over a synthetic chain
+               --scale, --seed as above
+               --methods <m,..>  hash|kl|metis|rmetis|trmetis|all (default all)
+               --shards <k,..>   shard counts          (default 2,4,8)
+    offline    one-shot partitioner comparison on the final graph
+               --scale, --seed as above
+               --shards <k>     single shard count     (default 2)
+    help       print this message
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err("missing command".into());
+    };
+    let opts = parse_options(&args[1..])?;
+    match command.as_str() {
+        "generate" => cmd_generate(&opts),
+        "study" => cmd_study(&opts),
+        "offline" => cmd_offline(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// Parses `--key value` pairs.
+fn parse_options(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut opts = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected --option, found `{key}`"));
+        };
+        let Some(value) = it.next() else {
+            return Err(format!("--{name} requires a value"));
+        };
+        opts.insert(name.to_string(), value.clone());
+    }
+    Ok(opts)
+}
+
+fn scale_of(opts: &HashMap<String, String>) -> Result<f64, String> {
+    match opts.get("scale") {
+        None => Ok(0.0012),
+        Some(s) => s
+            .parse::<f64>()
+            .ok()
+            .filter(|&v| v > 0.0)
+            .ok_or_else(|| format!("invalid --scale `{s}`")),
+    }
+}
+
+fn seed_of(opts: &HashMap<String, String>) -> Result<u64, String> {
+    match opts.get("seed") {
+        None => Ok(42),
+        Some(s) => s.parse().map_err(|_| format!("invalid --seed `{s}`")),
+    }
+}
+
+fn methods_of(opts: &HashMap<String, String>) -> Result<Vec<Method>, String> {
+    let Some(spec) = opts.get("methods") else {
+        return Ok(Method::ALL.to_vec());
+    };
+    if spec == "all" {
+        return Ok(Method::ALL.to_vec());
+    }
+    spec.split(',')
+        .map(|name| match name.trim().to_ascii_lowercase().as_str() {
+            "hash" => Ok(Method::Hash),
+            "kl" => Ok(Method::Kl),
+            "metis" => Ok(Method::Metis),
+            "rmetis" | "r-metis" | "pmetis" | "p-metis" => Ok(Method::RMetis),
+            "trmetis" | "tr-metis" => Ok(Method::TrMetis),
+            other => Err(format!("unknown method `{other}`")),
+        })
+        .collect()
+}
+
+fn shards_of(opts: &HashMap<String, String>, default: &[u16]) -> Result<Vec<ShardCount>, String> {
+    let spec = match opts.get("shards") {
+        None => {
+            return default
+                .iter()
+                .map(|&k| ShardCount::new(k).ok_or_else(|| "zero shard count".to_string()))
+                .collect()
+        }
+        Some(s) => s,
+    };
+    spec.split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<u16>()
+                .ok()
+                .and_then(ShardCount::new)
+                .ok_or_else(|| format!("invalid shard count `{s}`"))
+        })
+        .collect()
+}
+
+fn generate(opts: &HashMap<String, String>) -> Result<blockpart::ethereum::SyntheticChain, String> {
+    let scale = scale_of(opts)?;
+    let seed = seed_of(opts)?;
+    eprintln!("generating 30-month history (scale {scale}, seed {seed})...");
+    let config = GeneratorConfig::demo_scale(seed).with_scale(scale);
+    let chain = ChainGenerator::new(config).generate();
+    eprintln!(
+        "  {} transactions, {} interactions, {} contracts",
+        chain.chain.tx_count(),
+        chain.log.len(),
+        chain.chain.world().contract_count()
+    );
+    Ok(chain)
+}
+
+fn cmd_generate(opts: &HashMap<String, String>) -> Result<(), String> {
+    let chain = generate(opts)?;
+    let default_out = "trace.txt".to_string();
+    let out = opts.get("out").unwrap_or(&default_out);
+    let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    write_trace(BufWriter::new(file), &chain.log).map_err(|e| format!("write failed: {e}"))?;
+    eprintln!("wrote {out}");
+    Ok(())
+}
+
+fn cmd_study(opts: &HashMap<String, String>) -> Result<(), String> {
+    let chain = generate(opts)?;
+    let methods = methods_of(opts)?;
+    let shards = shards_of(opts, &[2, 4, 8])?;
+    let result = Study::new(&chain.log)
+        .methods(methods)
+        .shard_counts(shards)
+        .seed(seed_of(opts)?)
+        .run();
+    println!("{}", fig5_table(&fig5_rows(&result)).render_ascii());
+    Ok(())
+}
+
+fn cmd_offline(opts: &HashMap<String, String>) -> Result<(), String> {
+    let chain = generate(opts)?;
+    let shards = shards_of(opts, &[2])?;
+    let k = *shards.first().ok_or("need one shard count")?;
+    let rows = offline_partitioner_comparison(&chain.log, k);
+    println!("{}", offline_table(&rows).render_ascii());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(pairs: &[(&str, &str)]) -> HashMap<String, String> {
+        pairs
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn parse_options_pairs() {
+        let args: Vec<String> = ["--scale", "0.5", "--seed", "7"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = parse_options(&args).unwrap();
+        assert_eq!(o.get("scale").map(String::as_str), Some("0.5"));
+        assert_eq!(o.get("seed").map(String::as_str), Some("7"));
+    }
+
+    #[test]
+    fn parse_options_rejects_bare_values() {
+        let args = vec!["oops".to_string()];
+        assert!(parse_options(&args).is_err());
+        let dangling = vec!["--seed".to_string()];
+        assert!(parse_options(&dangling).is_err());
+    }
+
+    #[test]
+    fn scale_and_seed_defaults() {
+        let o = opts(&[]);
+        assert_eq!(scale_of(&o).unwrap(), 0.0012);
+        assert_eq!(seed_of(&o).unwrap(), 42);
+        assert!(scale_of(&opts(&[("scale", "-1")])).is_err());
+        assert!(seed_of(&opts(&[("seed", "x")])).is_err());
+    }
+
+    #[test]
+    fn methods_parsing() {
+        assert_eq!(methods_of(&opts(&[])).unwrap().len(), 5);
+        let m = methods_of(&opts(&[("methods", "hash,tr-metis")])).unwrap();
+        assert_eq!(m, vec![Method::Hash, Method::TrMetis]);
+        assert!(methods_of(&opts(&[("methods", "bogus")])).is_err());
+    }
+
+    #[test]
+    fn shards_parsing() {
+        let s = shards_of(&opts(&[("shards", "2, 8")]), &[2]).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[1].get(), 8);
+        assert!(shards_of(&opts(&[("shards", "0")]), &[2]).is_err());
+        assert_eq!(shards_of(&opts(&[]), &[2, 4]).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&["frobnicate".to_string()]).is_err());
+        assert!(run(&[]).is_err());
+    }
+}

@@ -1,0 +1,56 @@
+//! # blockpart
+//!
+//! A reproduction of **“Challenges and Pitfalls of Partitioning
+//! Blockchains”** (Fynn & Pedone, DSN 2018) as a reusable Rust toolkit:
+//! model a blockchain as a weighted interaction graph, shard it with five
+//! partitioning methods, and measure the edge-cut / balance / moves
+//! trade-offs the paper reports.
+//!
+//! This crate is a facade over the workspace:
+//!
+//! * [`types`] — newtypes (addresses, shards, time, gas);
+//! * [`graph`] — the interaction graph, CSR views, windows, algorithms;
+//! * [`partition`] — hashing, Kernighan–Lin (classic + distributed),
+//!   multilevel METIS-style k-way partitioning;
+//! * [`ethereum`] — a synthetic chain substrate: EVM-lite, contracts,
+//!   blocks and the era-driven workload generator;
+//! * [`shard`] — the sharding simulator (placement, repartition policies,
+//!   move accounting);
+//! * [`metrics`] — summary statistics and report rendering;
+//! * [`core`] — the study runner and one entry point per paper figure.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use blockpart::core::{Method, Study};
+//! use blockpart::ethereum::gen::{ChainGenerator, GeneratorConfig};
+//! use blockpart::types::ShardCount;
+//!
+//! // 1. synthesize a chain (a 14-day toy history; use demo_scale for the
+//! //    full 30-month timeline)
+//! let chain = ChainGenerator::new(GeneratorConfig::test_scale(7)).generate();
+//!
+//! // 2. shard it two ways
+//! let result = Study::new(&chain.log)
+//!     .methods(vec![Method::Hash, Method::Metis])
+//!     .shard_counts(vec![ShardCount::TWO])
+//!     .run();
+//!
+//! // 3. the paper's headline: hashing never moves state but cuts many
+//! //    edges; METIS cuts few edges but moves a lot of state
+//! let hash = result.get(Method::Hash, ShardCount::TWO).unwrap();
+//! let metis = result.get(Method::Metis, ShardCount::TWO).unwrap();
+//! assert_eq!(hash.total_moves, 0);
+//! assert!(metis.total_moves > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use blockpart_core as core;
+pub use blockpart_ethereum as ethereum;
+pub use blockpart_graph as graph;
+pub use blockpart_metrics as metrics;
+pub use blockpart_partition as partition;
+pub use blockpart_shard as shard;
+pub use blockpart_types as types;
