@@ -9,16 +9,15 @@ fn bench_generator(c: &mut Criterion) {
     group.sample_size(10);
     for &scale in &[0.005f64, 0.02] {
         // measure throughput in generated interactions
-        let probe = ChainGenerator::new(GeneratorConfig::test_scale(5).with_scale(scale))
-            .generate();
+        let probe =
+            ChainGenerator::new(GeneratorConfig::test_scale(5).with_scale(scale)).generate();
         group.throughput(Throughput::Elements(probe.log.len() as u64));
         group.bench_with_input(
             BenchmarkId::new("test-timeline", scale),
             &scale,
             |b, &scale| {
                 b.iter(|| {
-                    ChainGenerator::new(GeneratorConfig::test_scale(5).with_scale(scale))
-                        .generate()
+                    ChainGenerator::new(GeneratorConfig::test_scale(5).with_scale(scale)).generate()
                 });
             },
         );

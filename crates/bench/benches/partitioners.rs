@@ -39,9 +39,7 @@ fn bench_partitioners(c: &mut Criterion) {
 
         group.bench_with_input(BenchmarkId::new("hash", n), &csr, |b, csr| {
             let mut p = HashPartitioner::new();
-            b.iter(|| {
-                p.partition(&PartitionRequest::new(csr, k).with_stable_ids(&ids))
-            });
+            b.iter(|| p.partition(&PartitionRequest::new(csr, k).with_stable_ids(&ids)));
         });
         group.bench_with_input(BenchmarkId::new("kl-distributed", n), &csr, |b, csr| {
             b.iter(|| {

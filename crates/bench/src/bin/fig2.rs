@@ -15,6 +15,8 @@ fn main() {
             eprintln!("# Fig. 2 — 2-hop neighbourhood of the busiest contract in 09.15");
             println!("{dot}");
         }
-        None => eprintln!("no contract active in September 2015 at this scale; raise BLOCKPART_SCALE"),
+        None => {
+            eprintln!("no contract active in September 2015 at this scale; raise BLOCKPART_SCALE")
+        }
     }
 }

@@ -27,7 +27,10 @@ fn main() {
 
     // violin densities for the first period at k = 2 (the full figure's
     // density outline, 16 bins)
-    println!("## violin density (dynamic edge-cut, {}, k = 2)\n", periods[0].2);
+    println!(
+        "## violin density (dynamic edge-cut, {}, k = 2)\n",
+        periods[0].2
+    );
     for run in result.runs.iter().filter(|r| r.k == ShardCount::TWO) {
         let cuts: Vec<f64> = run
             .result
@@ -49,7 +52,12 @@ fn main() {
                     _ => '#',
                 })
                 .collect();
-            println!("{:<9} [{bars}]  ({:.2}..{:.2})", run.method.label(), v.grid[0], v.grid[15]);
+            println!(
+                "{:<9} [{bars}]  ({:.2}..{:.2})",
+                run.method.label(),
+                v.grid[0],
+                v.grid[15]
+            );
         }
     }
 }

@@ -35,6 +35,15 @@ fn main() {
             .map(|r| r.dynamic_edge_cut)
             .unwrap_or(f64::NAN)
     };
-    println!("hash cut growth with k : {:.2} -> {:.2} -> {:.2}", cut(Method::Hash, 2), cut(Method::Hash, 4), cut(Method::Hash, 8));
-    println!("metis advantage at k=2 : {:.2} vs hash {:.2}", cut(Method::Metis, 2), cut(Method::Hash, 2));
+    println!(
+        "hash cut growth with k : {:.2} -> {:.2} -> {:.2}",
+        cut(Method::Hash, 2),
+        cut(Method::Hash, 4),
+        cut(Method::Hash, 8)
+    );
+    println!(
+        "metis advantage at k=2 : {:.2} vs hash {:.2}",
+        cut(Method::Metis, 2),
+        cut(Method::Hash, 2)
+    );
 }

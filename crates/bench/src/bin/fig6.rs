@@ -1,0 +1,59 @@
+//! Regenerates **Fig. 6** (an extension beyond the paper): the
+//! execution-level cost of each partitioning method — throughput,
+//! cross-shard ratio, 2PC abort rate and commit latency versus shard
+//! count, measured by replaying the full history through the sharded
+//! two-phase-commit runtime.
+//!
+//! Shapes to look for: hashing's cross-shard ratio approaches `1 − 1/k`,
+//! so its latency and abort rate climb with k while delivered throughput
+//! stalls; the METIS family keeps most transactions single-shard and
+//! converts its lower edge-cut into lower p99 latency and higher
+//! throughput.
+
+use blockpart_bench::{generate_history, seed_from_env};
+use blockpart_core::{runtime_table, Method, RuntimeStudy};
+use blockpart_types::ShardCount;
+
+fn main() {
+    let chain = generate_history();
+    let ks: Vec<ShardCount> = [1u16, 2, 4, 8]
+        .iter()
+        .map(|&k| ShardCount::new(k).expect("non-zero"))
+        .collect();
+    let methods = vec![Method::Hash, Method::Metis, Method::TrMetis];
+    let result = RuntimeStudy::new(&chain)
+        .methods(methods)
+        .shard_counts(ks)
+        .seed(seed_from_env())
+        .run();
+
+    println!("\n## Fig. 6 — execution cost vs shard count (2PC runtime)\n");
+    println!("{}", runtime_table(&result.runs).render_ascii());
+
+    // headline cross-checks (printed, not asserted: scales vary)
+    let cross = |m, k: u16| {
+        ShardCount::new(k)
+            .and_then(|k| result.get(m, k))
+            .map(|r| r.cross_shard_ratio)
+            .unwrap_or(f64::NAN)
+    };
+    let tps = |m, k: u16| {
+        ShardCount::new(k)
+            .and_then(|k| result.get(m, k))
+            .map(|r| r.throughput_tps)
+            .unwrap_or(f64::NAN)
+    };
+    println!(
+        "hash cross-ratio growth with k : {:.2} -> {:.2} -> {:.2}",
+        cross(Method::Hash, 2),
+        cross(Method::Hash, 4),
+        cross(Method::Hash, 8)
+    );
+    println!(
+        "metis advantage at k=4        : cross {:.2} vs hash {:.2}, {:.0} vs {:.0} tx/s",
+        cross(Method::Metis, 4),
+        cross(Method::Hash, 4),
+        tps(Method::Metis, 4),
+        tps(Method::Hash, 4)
+    );
+}

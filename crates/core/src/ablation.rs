@@ -103,13 +103,14 @@ pub fn threshold_ablation(
     thresholds
         .iter()
         .map(|&(edge_cut, balance)| {
-            let config = Method::TrMetis.simulator_config(k).with_policy(
-                RepartitionPolicy::Threshold {
-                    edge_cut,
-                    balance,
-                    min_interval: Duration::weeks(2),
-                },
-            );
+            let config =
+                Method::TrMetis
+                    .simulator_config(k)
+                    .with_policy(RepartitionPolicy::Threshold {
+                        edge_cut,
+                        balance,
+                        min_interval: Duration::weeks(2),
+                    });
             let mut sim = ShardSimulator::new(config, Method::TrMetis.partitioner(seed));
             let result = sim.run(log);
             AblationRun::from_result(format!("cut>{edge_cut}|bal>{balance}"), &result)
@@ -217,12 +218,7 @@ mod tests {
     #[test]
     fn threshold_ablation_looser_fires_less() {
         let log = log();
-        let runs = threshold_ablation(
-            &log,
-            ShardCount::TWO,
-            &[(0.05, 1.05), (0.95, 5.0)],
-            1,
-        );
+        let runs = threshold_ablation(&log, ShardCount::TWO, &[(0.05, 1.05), (0.95, 5.0)], 1);
         assert_eq!(runs.len(), 2);
         // the near-impossible threshold repartitions no more often than
         // the hair trigger

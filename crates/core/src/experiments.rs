@@ -134,11 +134,7 @@ pub fn fig2_dot(
     }
     for e in graph.edges() {
         if keep.contains(&e.source.index()) && keep.contains(&e.target.index()) {
-            b.add_interaction(
-                graph.address(e.source),
-                graph.address(e.target),
-                e.weight,
-            );
+            b.add_interaction(graph.address(e.source), graph.address(e.target), e.weight);
         }
     }
     Some(blockpart_graph::io::to_dot(&b.build()))
@@ -275,15 +271,7 @@ pub fn fig4_cells(
 /// Renders Fig. 4 cells for one shard count as a table.
 pub fn fig4_table(cells: &[Fig4Cell], k: ShardCount) -> Table {
     let mut t = Table::new(vec![
-        "period",
-        "method",
-        "cut-q1",
-        "cut-med",
-        "cut-q3",
-        "bal-q1",
-        "bal-med",
-        "bal-q3",
-        "moves",
+        "period", "method", "cut-q1", "cut-med", "cut-q3", "bal-q1", "bal-med", "bal-q3", "moves",
     ]);
     for c in cells.iter().filter(|c| c.k == k) {
         t.row(vec![
@@ -327,12 +315,8 @@ pub fn fig5_rows(result: &StudyResult) -> Vec<Fig5Row> {
         .runs
         .iter()
         .map(|run| {
-            let active: Vec<&blockpart_shard::WindowRecord> = run
-                .result
-                .windows
-                .iter()
-                .filter(|w| w.events > 0)
-                .collect();
+            let active: Vec<&blockpart_shard::WindowRecord> =
+                run.result.windows.iter().filter(|w| w.events > 0).collect();
             let n = active.len().max(1) as f64;
             let mean_cut = active.iter().map(|w| w.dynamic_edge_cut).sum::<f64>() / n;
             let mean_bal = active.iter().map(|w| w.dynamic_balance).sum::<f64>() / n;

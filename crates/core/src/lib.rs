@@ -11,7 +11,9 @@
 //! * [`Study`] — a builder that runs methods × shard counts (in parallel)
 //!   over one log and collects [`StudyResult`];
 //! * [`experiments`] — one function per paper figure, each returning
-//!   renderable tables/series.
+//!   renderable tables/series;
+//! * [`RuntimeStudy`] — the execution-level comparison: replay the chain
+//!   on each method's assignment through the sharded 2PC runtime.
 //!
 //! # Examples
 //!
@@ -35,9 +37,11 @@
 pub mod ablation;
 pub mod experiments;
 mod methods;
+mod runtime_study;
 mod study;
 
 pub use methods::Method;
+pub use runtime_study::{runtime_table, RuntimeRun, RuntimeStudy, RuntimeStudyResult};
 pub use study::{MethodRun, Study, StudyResult};
 
 pub use blockpart_types::{Duration, ShardCount, Timestamp};

@@ -137,8 +137,7 @@ mod tests {
 
     #[test]
     fn labels_are_unique() {
-        let labels: std::collections::HashSet<_> =
-            Method::ALL.iter().map(|m| m.label()).collect();
+        let labels: std::collections::HashSet<_> = Method::ALL.iter().map(|m| m.label()).collect();
         assert_eq!(labels.len(), 5);
     }
 

@@ -1,0 +1,198 @@
+//! The execution-level method comparison: run each partitioning method's
+//! assignment through the sharded execution runtime and measure what the
+//! partition costs at run time — cross-shard coordination, 2PC aborts,
+//! commit latency, delivered throughput.
+//!
+//! This is the dynamic counterpart of [`Study`](crate::Study): the study
+//! scores a partition statically (edge-cut/balance/moves), the runtime
+//! study replays the chain's transactions on the final assignment through
+//! two-phase commit over partitioned EVM state.
+
+use blockpart_ethereum::SyntheticChain;
+use blockpart_metrics::Table;
+use blockpart_runtime::{Assignment, RuntimeConfig, RuntimeReport, ShardedRuntime};
+use blockpart_shard::ShardSimulator;
+use blockpart_types::ShardCount;
+
+use crate::methods::Method;
+
+/// One completed runtime replay: a method's assignment at a shard count.
+#[derive(Clone, Debug)]
+pub struct RuntimeRun {
+    /// The partitioning method whose assignment was executed.
+    pub method: Method,
+    /// The shard count.
+    pub k: ShardCount,
+    /// The execution-level measurements.
+    pub report: RuntimeReport,
+}
+
+/// Results of a [`RuntimeStudy`], indexable by method and shard count.
+#[derive(Clone, Debug, Default)]
+pub struct RuntimeStudyResult {
+    /// All runs, methods-major.
+    pub runs: Vec<RuntimeRun>,
+}
+
+impl RuntimeStudyResult {
+    /// The report for `method` at `k`, if it was part of the study.
+    pub fn get(&self, method: Method, k: ShardCount) -> Option<&RuntimeReport> {
+        self.runs
+            .iter()
+            .find(|r| r.method == method && r.k == k)
+            .map(|r| &r.report)
+    }
+}
+
+/// Configures and runs the execution-level comparison over one synthetic
+/// chain.
+///
+/// For every method × shard count, the partitioning simulator streams
+/// the chain's interaction log to produce the method's final assignment,
+/// which the runtime then executes the recorded transactions on.
+///
+/// # Examples
+///
+/// ```
+/// use blockpart_core::{Method, RuntimeStudy};
+/// use blockpart_ethereum::gen::{ChainGenerator, GeneratorConfig};
+/// use blockpart_types::ShardCount;
+///
+/// let chain = ChainGenerator::new(GeneratorConfig::test_scale(3)).generate();
+/// let result = RuntimeStudy::new(&chain)
+///     .methods(vec![Method::Hash])
+///     .shard_counts(vec![ShardCount::new(1).unwrap()])
+///     .run();
+/// let report = result.get(Method::Hash, ShardCount::new(1).unwrap()).unwrap();
+/// // one shard: no coordination, everything commits
+/// assert_eq!(report.prepare_rounds, 0);
+/// assert_eq!(report.committed as usize, chain.txs.len());
+/// ```
+#[derive(Debug)]
+pub struct RuntimeStudy<'a> {
+    chain: &'a SyntheticChain,
+    methods: Vec<Method>,
+    shard_counts: Vec<ShardCount>,
+    seed: u64,
+    net_latency_us: u64,
+    inter_arrival_us: u64,
+}
+
+impl<'a> RuntimeStudy<'a> {
+    /// Creates a runtime study with the defaults: HASH and METIS at
+    /// k ∈ {1, 2, 4}.
+    pub fn new(chain: &'a SyntheticChain) -> Self {
+        RuntimeStudy {
+            chain,
+            methods: vec![Method::Hash, Method::Metis],
+            shard_counts: [1u16, 2, 4]
+                .iter()
+                .map(|&k| ShardCount::new(k).expect("non-zero"))
+                .collect(),
+            seed: 0x52_55_4e, // "RUN"
+            net_latency_us: RuntimeConfig::new(ShardCount::TWO).net_latency_us,
+            inter_arrival_us: RuntimeConfig::new(ShardCount::TWO).inter_arrival_us,
+        }
+    }
+
+    /// Restricts the methods to compare.
+    pub fn methods(mut self, methods: Vec<Method>) -> Self {
+        self.methods = methods;
+        self
+    }
+
+    /// Restricts the shard counts.
+    pub fn shard_counts(mut self, shard_counts: Vec<ShardCount>) -> Self {
+        self.shard_counts = shard_counts;
+        self
+    }
+
+    /// Overrides the partitioner/runtime seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the one-way inter-shard network latency (µs).
+    pub fn net_latency_us(mut self, latency: u64) -> Self {
+        self.net_latency_us = latency;
+        self
+    }
+
+    /// Overrides the offered-load arrival gap (µs).
+    pub fn inter_arrival_us(mut self, gap: u64) -> Self {
+        self.inter_arrival_us = gap;
+        self
+    }
+
+    /// Runs every method × shard-count pair.
+    pub fn run(self) -> RuntimeStudyResult {
+        let mut runs = Vec::new();
+        for &method in &self.methods {
+            for &k in &self.shard_counts {
+                let mut sim =
+                    ShardSimulator::new(method.simulator_config(k), method.partitioner(self.seed));
+                sim.run(&self.chain.log);
+                let assignment = Assignment::from_map(sim.into_state().assignment_map(), k);
+                let cfg = RuntimeConfig::new(k)
+                    .with_seed(self.seed)
+                    .with_net_latency_us(self.net_latency_us)
+                    .with_inter_arrival_us(self.inter_arrival_us);
+                let report = ShardedRuntime::new(cfg, assignment)
+                    .run(self.chain.chain.world(), &self.chain.txs);
+                runs.push(RuntimeRun { method, k, report });
+            }
+        }
+        RuntimeStudyResult { runs }
+    }
+}
+
+/// Renders runtime runs as the comparison table the `runtime` CLI
+/// subcommand and the fig6 binary print.
+pub fn runtime_table(runs: &[RuntimeRun]) -> Table {
+    let mut t = Table::new(vec![
+        "method",
+        "k",
+        "committed",
+        "failed",
+        "cross-%",
+        "abort-%",
+        "p50-ms",
+        "p99-ms",
+        "tx/s",
+    ]);
+    for r in runs {
+        t.row(vec![
+            r.method.label().to_string(),
+            r.k.get().to_string(),
+            r.report.committed.to_string(),
+            r.report.failed.to_string(),
+            format!("{:.1}", r.report.cross_shard_ratio * 100.0),
+            format!("{:.1}", r.report.abort_rate * 100.0),
+            format!("{:.2}", r.report.p50_commit_latency_us as f64 / 1e3),
+            format!("{:.2}", r.report.p99_commit_latency_us as f64 / 1e3),
+            format!("{:.0}", r.report.throughput_tps),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockpart_ethereum::gen::{ChainGenerator, GeneratorConfig};
+
+    #[test]
+    fn table_has_one_row_per_run() {
+        let chain = ChainGenerator::new(GeneratorConfig::test_scale(2)).generate();
+        let result = RuntimeStudy::new(&chain)
+            .methods(vec![Method::Hash])
+            .shard_counts(vec![ShardCount::TWO])
+            .run();
+        assert_eq!(result.runs.len(), 1);
+        let table = runtime_table(&result.runs);
+        assert_eq!(table.len(), 1);
+        assert!(result.get(Method::Hash, ShardCount::TWO).is_some());
+        assert!(result.get(Method::Metis, ShardCount::TWO).is_none());
+    }
+}

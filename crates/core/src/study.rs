@@ -142,7 +142,10 @@ impl<'a> Study<'a> {
         .expect("study worker panicked");
 
         StudyResult {
-            runs: runs.into_iter().map(|r| r.expect("run completed")).collect(),
+            runs: runs
+                .into_iter()
+                .map(|r| r.expect("run completed"))
+                .collect(),
         }
     }
 }

@@ -173,13 +173,17 @@ impl Chain {
     }
 }
 
-/// A generated chain together with its full interaction log.
+/// A generated chain together with its full interaction log and the
+/// per-transaction execution records the sharded runtime replays.
 #[derive(Clone, Debug)]
 pub struct SyntheticChain {
     /// The chain (world state + block summaries).
     pub chain: Chain,
     /// Every interaction, in time order — the study's input.
     pub log: InteractionLog,
+    /// Every executed transaction with its access-list footprint, in
+    /// chain order — the sharded runtime's input.
+    pub txs: Vec<crate::transaction::ExecutedTx>,
 }
 
 fn tx_entropy(seed: u64, block: BlockNumber, index: usize) -> u64 {

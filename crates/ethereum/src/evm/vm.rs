@@ -204,7 +204,9 @@ impl Vm {
                 });
                 world.transfer(tx.from, tx.to, tx.value);
                 if let Some(program) = world.contract(tx.to).map(|c| c.program.clone()) {
-                    match run(world, &program, tx.to, tx.from, tx.value, arg, 0, &mut state) {
+                    match run(
+                        world, &program, tx.to, tx.from, tx.value, arg, 0, &mut state,
+                    ) {
                         Ok(_) => TxStatus::Success,
                         Err(_) => TxStatus::Failed,
                     }
@@ -299,7 +301,7 @@ fn run(
             Op::Div => {
                 let b = pop!();
                 let a = pop!();
-                push!(if b == 0 { 0 } else { a / b });
+                push!(a.checked_div(b).unwrap_or(0));
             }
             Op::Mod => {
                 let b = pop!();
@@ -482,10 +484,14 @@ mod tests {
         let (mut world, user) = setup();
         let recipient = world.new_user(Wei::ZERO);
         let token = world.create_contract(ContractTemplate::Token, user, user.index());
-        let r = Vm::execute(&mut world, &call_tx(user, token, 0, recipient.index()), &ctx());
+        let r = Vm::execute(
+            &mut world,
+            &call_tx(user, token, 0, recipient.index()),
+            &ctx(),
+        );
         assert!(r.is_success());
         assert_eq!(r.calls.len(), 1); // no internal calls
-        // recipient's balance slot was incremented
+                                      // recipient's balance slot was incremented
         assert_eq!(world.storage_load(token, recipient.index()), 1);
         assert!(r.gas_used.get() > GasSchedule::default().tx_base);
     }
@@ -638,7 +644,11 @@ mod tests {
         let r = Vm::execute(&mut world, &call_tx(user, a, 10, 0), &ctx());
         assert!(r.is_success());
         // depth limit bounds the number of call edges
-        assert!(r.calls.len() <= 2 * CALL_DEPTH_LIMIT + 2, "{}", r.calls.len());
+        assert!(
+            r.calls.len() <= 2 * CALL_DEPTH_LIMIT + 2,
+            "{}",
+            r.calls.len()
+        );
     }
 
     #[test]

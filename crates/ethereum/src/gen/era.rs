@@ -379,7 +379,10 @@ mod tests {
         let mid = Timestamp::from_secs((frontier.start.as_secs() + frontier.end.as_secs()) / 2);
         let r = tl.rate_at(mid);
         let geo_mid = (frontier.rate_start * frontier.rate_end).sqrt();
-        assert!((r - geo_mid).abs() / geo_mid < 0.01, "r={r} expected~{geo_mid}");
+        assert!(
+            (r - geo_mid).abs() / geo_mid < 0.01,
+            "r={r} expected~{geo_mid}"
+        );
     }
 
     #[test]
@@ -388,7 +391,10 @@ mod tests {
         let pre = tl.rate_at(month(13.0));
         let during = tl.rate_at(month(14.0));
         let post = tl.rate_at(month(16.0));
-        assert!(during > 5.0 * pre, "attack spike missing: {pre} -> {during}");
+        assert!(
+            during > 5.0 * pre,
+            "attack spike missing: {pre} -> {during}"
+        );
         assert!(post < during / 4.0, "rate should drop after the fork");
     }
 
@@ -412,7 +418,7 @@ mod tests {
     #[should_panic(expected = "contiguous")]
     fn gap_in_timeline_panics() {
         let mut eras = EraTimeline::ethereum_history().eras().to_vec();
-        eras[1].start = eras[1].start + Duration::from_secs(5);
+        eras[1].start += Duration::from_secs(5);
         let _ = EraTimeline::new(eras);
     }
 
@@ -425,7 +431,11 @@ mod tests {
             TxMix::recovery(),
             TxMix::boom(),
         ] {
-            assert!((mix.total() - 1.0).abs() < 0.01, "mix total {}", mix.total());
+            assert!(
+                (mix.total() - 1.0).abs() < 0.01,
+                "mix total {}",
+                mix.total()
+            );
         }
     }
 

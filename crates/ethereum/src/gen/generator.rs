@@ -136,6 +136,7 @@ impl ChainGenerator {
     pub fn generate(mut self) -> SyntheticChain {
         let mut chain = Chain::new(self.config.seed ^ 0xb10c);
         let mut log = InteractionLog::new();
+        let mut executed = Vec::new();
 
         self.genesis(chain.world_mut());
 
@@ -164,9 +165,11 @@ impl ChainGenerator {
                 txs.push(tx);
                 posts.push(post);
             }
+            let submitted = txs.clone();
             let (_, receipts) = chain.apply_block_with_receipts(t, txs, &mut log);
-            for (receipt, post) in receipts.iter().zip(&posts) {
+            for ((receipt, post), tx) in receipts.iter().zip(&posts).zip(&submitted) {
                 self.register_created(chain.world_mut(), receipt, post);
+                executed.push(crate::transaction::ExecutedTx::new(t, *tx, receipt));
             }
 
             blocks_since_compact += 1;
@@ -177,7 +180,11 @@ impl ChainGenerator {
             t += step;
         }
 
-        SyntheticChain { chain, log }
+        SyntheticChain {
+            chain,
+            log,
+            txs: executed,
+        }
     }
 
     /// Seeds the world with an initial population and one contract of each
@@ -202,13 +209,18 @@ impl ChainGenerator {
             let c = world.create_contract(template, owner, owner.index());
             self.population.add_contract(template, c);
         }
-        let factory =
-            world.create_contract(ContractTemplate::Factory, owner, ContractTemplate::Token.id());
-        self.population.add_contract(ContractTemplate::Factory, factory);
+        let factory = world.create_contract(
+            ContractTemplate::Factory,
+            owner,
+            ContractTemplate::Token.id(),
+        );
+        self.population
+            .add_contract(ContractTemplate::Factory, factory);
         let sale = world.create_contract(ContractTemplate::Crowdsale, owner, owner.index());
         world.storage_store(sale, 0, owner.index());
         world.storage_store(sale, 1, token.index());
-        self.population.add_contract(ContractTemplate::Crowdsale, sale);
+        self.population
+            .add_contract(ContractTemplate::Crowdsale, sale);
     }
 
     /// Samples one transaction according to the era mix at `t`.
@@ -372,17 +384,15 @@ impl ChainGenerator {
             .population
             .sample_contract(ContractTemplate::Token, &mut self.rng);
         let arg = match template {
-            ContractTemplate::Factory => {
-                pick_weighted(
-                    &mut self.rng,
-                    &[
-                        (ContractTemplate::Token, 40),
-                        (ContractTemplate::Registry, 30),
-                        (ContractTemplate::Game, 30),
-                    ],
-                )
-                .id()
-            }
+            ContractTemplate::Factory => pick_weighted(
+                &mut self.rng,
+                &[
+                    (ContractTemplate::Token, 40),
+                    (ContractTemplate::Registry, 30),
+                    (ContractTemplate::Game, 30),
+                ],
+            )
+            .id(),
             _ => beneficiary.index(),
         };
         (
@@ -422,11 +432,7 @@ impl ChainGenerator {
 
     /// Samples an existing user by activity, or mints a new one with
     /// probability `p_new` (organic population growth).
-    fn sample_or_new_user(
-        &mut self,
-        world: &mut World,
-        p_new: f64,
-    ) -> blockpart_types::Address {
+    fn sample_or_new_user(&mut self, world: &mut World, p_new: f64) -> blockpart_types::Address {
         if !self.rng.gen_bool(p_new.clamp(0.0, 1.0).min(0.999_999)) {
             if let Some(u) = self.population.sample_user(&mut self.rng) {
                 return u;
@@ -463,7 +469,11 @@ mod tests {
     #[test]
     fn generates_nontrivial_chain() {
         let s = small();
-        assert!(s.chain.block_count() > 50, "blocks: {}", s.chain.block_count());
+        assert!(
+            s.chain.block_count() > 50,
+            "blocks: {}",
+            s.chain.block_count()
+        );
         assert!(s.log.len() > 2_000, "events: {}", s.log.len());
         assert!(s.chain.world().contract_count() > 5);
     }
@@ -498,7 +508,9 @@ mod tests {
     #[test]
     fn graph_is_heavy_tailed() {
         let s = small();
-        let g = s.log.graph_until(GeneratorConfig::test_scale(7).timeline.end());
+        let g = s
+            .log
+            .graph_until(GeneratorConfig::test_scale(7).timeline.end());
         let csr = g.to_csr();
         let stats = blockpart_graph::algos::DegreeStats::of(&csr);
         // hubs exist: max degree far above the mean
@@ -529,10 +541,9 @@ mod tests {
 
     #[test]
     fn scale_controls_volume() {
-        let small = ChainGenerator::new(GeneratorConfig::test_scale(5).with_scale(0.005))
-            .generate();
-        let large = ChainGenerator::new(GeneratorConfig::test_scale(5).with_scale(0.02))
-            .generate();
+        let small =
+            ChainGenerator::new(GeneratorConfig::test_scale(5).with_scale(0.005)).generate();
+        let large = ChainGenerator::new(GeneratorConfig::test_scale(5).with_scale(0.02)).generate();
         assert!(large.log.len() > 2 * small.log.len());
     }
 

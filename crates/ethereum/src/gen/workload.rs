@@ -166,7 +166,10 @@ mod tests {
     fn empty_population_samples_none() {
         let pop = Population::new();
         assert_eq!(pop.sample_user(&mut rng()), None);
-        assert_eq!(pop.sample_contract(ContractTemplate::Token, &mut rng()), None);
+        assert_eq!(
+            pop.sample_contract(ContractTemplate::Token, &mut rng()),
+            None
+        );
     }
 
     #[test]

@@ -40,7 +40,9 @@ pub use block::Block;
 pub use chain::{Chain, SyntheticChain};
 pub use pool::TxPool;
 pub use program::{ContractTemplate, Program};
-pub use state::{AccountState, ContractState, World};
-pub use transaction::{CallKind, CallRecord, Receipt, Transaction, TxPayload, TxStatus};
+pub use state::{AccountState, AddressState, ContractState, World};
+pub use transaction::{
+    CallKind, CallRecord, ExecutedTx, Receipt, Transaction, TxPayload, TxStatus,
+};
 
 pub use blockpart_types::{AccountKind, Address, BlockNumber, Gas, Timestamp, Wei};

@@ -130,11 +130,7 @@ impl TxPool {
     /// `floor` (fee-market spam eviction). Returns how many were dropped.
     pub fn evict_below(&mut self, floor: Wei) -> usize {
         let before = self.heap.len();
-        let kept: Vec<Pending> = self
-            .heap
-            .drain()
-            .filter(|p| p.gas_price >= floor)
-            .collect();
+        let kept: Vec<Pending> = self.heap.drain().filter(|p| p.gas_price >= floor).collect();
         self.heap = kept.into();
         before - self.heap.len()
     }

@@ -40,6 +40,16 @@ impl ContractState {
     }
 }
 
+/// A portable snapshot of one address's state — what two-phase commit
+/// ships between shards.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AddressState {
+    /// An externally-owned account.
+    Account(AccountState),
+    /// A contract (code, storage, balance).
+    Contract(ContractState),
+}
+
 /// The complete chain state: every account, every contract, plus the
 /// address allocator for contract creation.
 ///
@@ -170,6 +180,56 @@ impl World {
     /// Shared view of a contract's state.
     pub fn contract(&self, address: Address) -> Option<&ContractState> {
         self.contracts.get(&address)
+    }
+
+    /// Shared view of an externally-owned account's state.
+    pub fn account(&self, address: Address) -> Option<&AccountState> {
+        self.accounts.get(&address)
+    }
+
+    /// Extracts a portable snapshot of one address's state, if the world
+    /// knows the address. Used by the sharded runtime to ship state
+    /// between shards during two-phase commit.
+    pub fn export_state(&self, address: Address) -> Option<AddressState> {
+        if let Some(c) = self.contracts.get(&address) {
+            Some(AddressState::Contract(c.clone()))
+        } else {
+            self.accounts
+                .get(&address)
+                .map(|a| AddressState::Account(*a))
+        }
+    }
+
+    /// Installs (or overwrites) one address's state from a snapshot.
+    pub fn install_state(&mut self, address: Address, state: AddressState) {
+        match state {
+            AddressState::Account(a) => {
+                self.contracts.remove(&address);
+                self.accounts.insert(address, a);
+            }
+            AddressState::Contract(c) => {
+                self.accounts.remove(&address);
+                self.contracts.insert(address, c);
+            }
+        }
+    }
+
+    /// Every address this world holds state for (accounts then
+    /// contracts, in no particular order).
+    pub fn addresses(&self) -> impl Iterator<Item = Address> + '_ {
+        self.accounts.keys().chain(self.contracts.keys()).copied()
+    }
+
+    /// The next index the address allocator will hand out.
+    pub fn address_floor(&self) -> u64 {
+        self.next_index
+    }
+
+    /// Raises the allocator floor so future allocations start at `floor`.
+    /// The sharded runtime uses this to keep per-shard address lanes
+    /// disjoint; lowering the floor is a no-op.
+    pub fn raise_address_floor(&mut self, floor: u64) {
+        self.next_index = self.next_index.max(floor);
     }
 
     /// Reads a contract storage slot (0 when absent).

@@ -1,6 +1,6 @@
 //! Transactions, call records and receipts.
 
-use blockpart_types::{AccountKind, Address, Gas, Wei};
+use blockpart_types::{AccountKind, Address, Gas, Timestamp, Wei};
 use serde::{Deserialize, Serialize};
 
 /// What a transaction does once it reaches its target.
@@ -116,6 +116,78 @@ impl Receipt {
     }
 }
 
+/// One transaction as executed on the canonical (unsharded) chain: when it
+/// ran, what it cost and which vertices it touched.
+///
+/// The sharded runtime replays these records: the `touched` set acts as
+/// the transaction's declared access list (like EIP-2930), deciding which
+/// shards must participate in its execution.
+///
+/// # Examples
+///
+/// ```
+/// use blockpart_ethereum::{ExecutedTx, Receipt, Transaction, TxPayload, TxStatus};
+/// use blockpart_types::{Address, Gas, Timestamp, Wei};
+///
+/// let tx = Transaction {
+///     from: Address::from_index(1),
+///     to: Address::from_index(2),
+///     value: Wei::new(5),
+///     gas_limit: Gas::new(30_000),
+///     payload: TxPayload::Transfer,
+/// };
+/// let receipt = Receipt {
+///     status: TxStatus::Success,
+///     gas_used: Gas::new(21_000),
+///     calls: Vec::new(),
+///     created: Vec::new(),
+/// };
+/// let exec = ExecutedTx::new(Timestamp::from_secs(9), tx, &receipt);
+/// assert_eq!(exec.touched, vec![tx.from, tx.to]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecutedTx {
+    /// Block time of the canonical execution.
+    pub time: Timestamp,
+    /// The transaction itself.
+    pub tx: Transaction,
+    /// Gas the canonical execution consumed.
+    pub gas_used: Gas,
+    /// Canonical outcome.
+    pub status: TxStatus,
+    /// Every distinct address the execution touched, in first-touch
+    /// order; the sender always comes first. [`Address::ZERO`] (the
+    /// creation sink) is excluded — it is not real state.
+    pub touched: Vec<Address>,
+}
+
+impl ExecutedTx {
+    /// Builds the record from a transaction and its canonical receipt.
+    pub fn new(time: Timestamp, tx: Transaction, receipt: &Receipt) -> Self {
+        let mut touched = vec![tx.from];
+        let mut push = |a: Address| {
+            if a != Address::ZERO && !touched.contains(&a) {
+                touched.push(a);
+            }
+        };
+        push(tx.to);
+        for call in &receipt.calls {
+            push(call.from);
+            push(call.to);
+        }
+        for &created in &receipt.created {
+            push(created);
+        }
+        ExecutedTx {
+            time,
+            tx,
+            gas_used: receipt.gas_used,
+            status: receipt.status,
+            touched,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,8 +212,14 @@ mod tests {
     fn payload_variants_distinct() {
         assert_ne!(TxPayload::Transfer, TxPayload::Call { arg: 0 });
         assert_ne!(
-            TxPayload::Create { template: 0, arg: 0 },
-            TxPayload::Create { template: 1, arg: 0 }
+            TxPayload::Create {
+                template: 0,
+                arg: 0
+            },
+            TxPayload::Create {
+                template: 1,
+                arg: 0
+            }
         );
     }
 }

@@ -294,8 +294,7 @@ mod tests {
     use blockpart_types::Address;
 
     fn path(n: usize) -> Csr {
-        let edges: Vec<(u32, u32, u64)> =
-            (0..n - 1).map(|i| (i as u32, i as u32 + 1, 1)).collect();
+        let edges: Vec<(u32, u32, u64)> = (0..n - 1).map(|i| (i as u32, i as u32 + 1, 1)).collect();
         Csr::from_edges(n, &edges)
     }
 
@@ -352,7 +351,10 @@ mod tests {
 
     #[test]
     fn degree_stats_empty() {
-        assert_eq!(DegreeStats::of(&Csr::from_edges(0, &[])), DegreeStats::default());
+        assert_eq!(
+            DegreeStats::of(&Csr::from_edges(0, &[])),
+            DegreeStats::default()
+        );
     }
 
     #[test]

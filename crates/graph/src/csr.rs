@@ -39,7 +39,12 @@ impl Csr {
     /// # Panics
     ///
     /// Panics (debug builds) if the invariants above are violated.
-    pub fn from_parts(xadj: Vec<usize>, adjncy: Vec<u32>, adjwgt: Vec<u64>, vwgt: Vec<u64>) -> Self {
+    pub fn from_parts(
+        xadj: Vec<usize>,
+        adjncy: Vec<u32>,
+        adjwgt: Vec<u64>,
+        vwgt: Vec<u64>,
+    ) -> Self {
         debug_assert_eq!(xadj.len(), vwgt.len() + 1);
         debug_assert_eq!(adjncy.len(), adjwgt.len());
         debug_assert_eq!(*xadj.last().unwrap_or(&0), adjncy.len());
@@ -67,7 +72,10 @@ impl Csr {
         use std::collections::BTreeMap;
         let mut rows: Vec<BTreeMap<u32, u64>> = vec![BTreeMap::new(); n];
         for &(u, v, w) in edges {
-            assert!((u as usize) < n && (v as usize) < n, "endpoint out of range");
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "endpoint out of range"
+            );
             assert_ne!(u, v, "self-loops are not allowed in a symmetric CSR");
             *rows[u as usize].entry(v).or_insert(0) += w;
             *rows[v as usize].entry(u).or_insert(0) += w;
@@ -193,7 +201,9 @@ impl Csr {
                 }
                 prev = Some(t);
                 // symmetry: the reverse edge must exist with equal weight
-                let found = self.neighbors(t as usize).any(|(b, bw)| b as usize == v && bw == w);
+                let found = self
+                    .neighbors(t as usize)
+                    .any(|(b, bw)| b as usize == v && bw == w);
                 if !found {
                     return Err(format!("asymmetric edge {v} -> {t}"));
                 }

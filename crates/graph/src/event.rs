@@ -138,9 +138,7 @@ impl InteractionLog {
 
     /// Builds the cumulative graph of all events with `time <= until`.
     pub fn graph_until(&self, until: Timestamp) -> Graph {
-        let hi = self
-            .events
-            .partition_point(|e| e.time <= until);
+        let hi = self.events.partition_point(|e| e.time <= until);
         Self::graph_of(&self.events[..hi])
     }
 

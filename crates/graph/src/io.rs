@@ -132,9 +132,7 @@ pub fn read_trace<R: Read>(reader: R) -> Result<InteractionLog, ReadTraceError> 
         if fields.len() != 6 {
             return Err(parse(&format!("expected 6 fields, found {}", fields.len())));
         }
-        let time = Timestamp::from_secs(
-            fields[0].parse().map_err(|_| parse("invalid timestamp"))?,
-        );
+        let time = Timestamp::from_secs(fields[0].parse().map_err(|_| parse("invalid timestamp"))?);
         if let Some(last) = last_time {
             if time < last {
                 return Err(parse("timestamps must be non-decreasing"));

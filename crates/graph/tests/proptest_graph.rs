@@ -7,7 +7,14 @@ use proptest::prelude::*;
 
 fn interaction_strategy() -> impl Strategy<Value = (u64, u64, u64, u64, bool, bool)> {
     // (time-delta, from, to, weight, from_is_contract, to_is_contract)
-    (0u64..500, 0u64..30, 0u64..30, 1u64..20, any::<bool>(), any::<bool>())
+    (
+        0u64..500,
+        0u64..30,
+        0u64..30,
+        1u64..20,
+        any::<bool>(),
+        any::<bool>(),
+    )
 }
 
 fn log_from(raw: Vec<(u64, u64, u64, u64, bool, bool)>) -> InteractionLog {

@@ -223,7 +223,7 @@ mod tests {
     #[test]
     fn kde_peak_tracks_mode() {
         let mut values = vec![5.0; 50];
-        values.extend(std::iter::repeat(1.0).take(5));
+        values.extend(std::iter::repeat_n(1.0, 5));
         let v = ViolinDensity::of(&values, 64).unwrap();
         let peak_idx = v
             .density

@@ -43,7 +43,11 @@ use crate::partition::Partition;
 /// ```
 pub fn kl_bisection_pass(csr: &Csr, partition: &mut Partition) -> i64 {
     assert_eq!(partition.shard_count().get(), 2, "KL requires a bisection");
-    assert_eq!(partition.len(), csr.node_count(), "partition length mismatch");
+    assert_eq!(
+        partition.len(),
+        csr.node_count(),
+        "partition length mismatch"
+    );
     let n = csr.node_count();
     if n < 2 {
         return 0;
@@ -73,7 +77,7 @@ pub fn kl_bisection_pass(csr: &Csr, partition: &mut Partition) -> i64 {
                 }
                 let w_ab = edge_weight(csr, a, b);
                 let gain = d[a] + d[b] - 2 * w_ab as i64;
-                if best.map_or(true, |(_, _, g)| gain > g) {
+                if best.is_none_or(|(_, _, g)| gain > g) {
                     best = Some((a, b, gain));
                 }
             }
@@ -148,14 +152,7 @@ fn compute_d(csr: &Csr, side: &[u8]) -> Vec<i64> {
         .collect()
 }
 
-fn update_d_after_swap(
-    csr: &Csr,
-    d: &mut [i64],
-    side: &[u8],
-    locked: &[bool],
-    a: usize,
-    b: usize,
-) {
+fn update_d_after_swap(csr: &Csr, d: &mut [i64], side: &[u8], locked: &[bool], a: usize, b: usize) {
     // After a and b switched sides, recompute D for their unlocked
     // neighbours from scratch (cheap relative to the pair search).
     for v in csr
@@ -210,8 +207,7 @@ mod tests {
     fn recovers_natural_bisection_from_bad_start() {
         let csr = two_cliques();
         // interleaved (worst) start
-        let mut p =
-            Partition::from_assignment(vec![0, 1, 0, 1, 0, 1], ShardCount::TWO).unwrap();
+        let mut p = Partition::from_assignment(vec![0, 1, 0, 1, 0, 1], ShardCount::TWO).unwrap();
         let before = CutMetrics::compute(&csr, &p).cut_weight;
         let gain = refine_bisection(&csr, &mut p, 10);
         let after = CutMetrics::compute(&csr, &p).cut_weight;
@@ -222,8 +218,7 @@ mod tests {
     #[test]
     fn preserves_side_sizes() {
         let csr = two_cliques();
-        let mut p =
-            Partition::from_assignment(vec![0, 1, 0, 1, 0, 1], ShardCount::TWO).unwrap();
+        let mut p = Partition::from_assignment(vec![0, 1, 0, 1, 0, 1], ShardCount::TWO).unwrap();
         refine_bisection(&csr, &mut p, 10);
         assert_eq!(p.shard_sizes(), vec![3, 3]);
     }
@@ -231,8 +226,7 @@ mod tests {
     #[test]
     fn no_gain_on_optimal_partition() {
         let csr = two_cliques();
-        let mut p =
-            Partition::from_assignment(vec![0, 0, 0, 1, 1, 1], ShardCount::TWO).unwrap();
+        let mut p = Partition::from_assignment(vec![0, 0, 0, 1, 1, 1], ShardCount::TWO).unwrap();
         assert_eq!(kl_bisection_pass(&csr, &mut p), 0);
         assert_eq!(
             p,

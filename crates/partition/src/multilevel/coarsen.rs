@@ -1,6 +1,5 @@
 //! Graph contraction: collapse a matching into a coarser graph.
 
-
 use blockpart_graph::Csr;
 
 /// Contracts `csr` along `mate` (as produced by

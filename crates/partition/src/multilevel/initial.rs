@@ -119,7 +119,12 @@ impl Subgraph {
 /// Runs `config.init_trials` GGG+FM attempts and returns the side
 /// assignment (0/1 per local vertex) with the smallest cut among those
 /// within tolerance, or the best-balanced one if none meet it.
-fn best_bisection(sub: &Subgraph, target0: u64, config: &MultilevelConfig, rng: &mut SmallRng) -> Vec<u8> {
+fn best_bisection(
+    sub: &Subgraph,
+    target0: u64,
+    config: &MultilevelConfig,
+    rng: &mut SmallRng,
+) -> Vec<u8> {
     let csr = &sub.csr;
     let n = csr.node_count();
     if n == 0 {
@@ -137,7 +142,10 @@ fn best_bisection(sub: &Subgraph, target0: u64, config: &MultilevelConfig, rng: 
             fm_refine(csr, &mut side, target0, config.imbalance, 4);
         }
         let cut = cut_weight(csr, &side);
-        let w0: u64 = (0..n).filter(|&v| side[v] == 0).map(|v| csr.vertex_weight(v)).sum();
+        let w0: u64 = (0..n)
+            .filter(|&v| side[v] == 0)
+            .map(|v| csr.vertex_weight(v))
+            .sum();
         let err = w0.abs_diff(target0);
         let better = match &best {
             None => true,
@@ -279,7 +287,7 @@ fn fm_pass(csr: &Csr, side: &mut [u8], hi0: u64, hi1: u64) -> i64 {
             if weights[to] + csr.vertex_weight(v) > hi[to] {
                 continue;
             }
-            if best.map_or(true, |(_, g)| gain[v] > g) {
+            if best.is_none_or(|(_, g)| gain[v] > g) {
                 best = Some((v, gain[v]));
             }
         }
@@ -403,8 +411,12 @@ mod tests {
         let base = Csr::from_edges(11, &edges);
         let csr = Csr::from_parts(
             (0..=11).map(|v| base_xadj(&base, v)).collect(),
-            (0..11).flat_map(|v| base.neighbors(v).map(|(u, _)| u)).collect(),
-            (0..11).flat_map(|v| base.neighbors(v).map(|(_, w)| w)).collect(),
+            (0..11)
+                .flat_map(|v| base.neighbors(v).map(|(u, _)| u))
+                .collect(),
+            (0..11)
+                .flat_map(|v| base.neighbors(v).map(|(_, w)| w))
+                .collect(),
             vwgt,
         );
         let p = recursive_bisection(

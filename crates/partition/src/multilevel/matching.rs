@@ -122,9 +122,9 @@ mod tests {
             assert_eq!(mate[m] as usize, v, "matching not symmetric at {v}");
             if m != v {
                 let adjacent = csr.neighbors(v).any(|(u, _)| u as usize == m);
-                let two_hop = csr.neighbors(v).any(|(h, _)| {
-                    csr.neighbors(h as usize).any(|(u, _)| u as usize == m)
-                });
+                let two_hop = csr
+                    .neighbors(v)
+                    .any(|(h, _)| csr.neighbors(h as usize).any(|(u, _)| u as usize == m));
                 assert!(
                     adjacent || two_hop,
                     "matched vertices {v} and {m} share no neighbour"
@@ -169,7 +169,11 @@ mod tests {
         let mate = match_vertices(&csr, MatchingScheme::Random, &mut rng());
         assert_valid_matching(&csr, &mate);
         // a path of 20 vertices always admits some matching
-        let matched = mate.iter().enumerate().filter(|&(v, &m)| v != m as usize).count();
+        let matched = mate
+            .iter()
+            .enumerate()
+            .filter(|&(v, &m)| v != m as usize)
+            .count();
         assert!(matched >= 2);
     }
 
@@ -193,7 +197,11 @@ mod tests {
         let csr = Csr::from_edges(3, &[(0, 1, 1), (1, 2, 1), (0, 2, 1)]);
         let mate = match_vertices(&csr, MatchingScheme::HeavyEdge, &mut rng());
         assert_valid_matching(&csr, &mate);
-        let unmatched = mate.iter().enumerate().filter(|&(v, &m)| v == m as usize).count();
+        let unmatched = mate
+            .iter()
+            .enumerate()
+            .filter(|&(v, &m)| v == m as usize)
+            .count();
         assert_eq!(unmatched, 1);
     }
 }

@@ -84,7 +84,7 @@ impl Default for MultilevelConfig {
             refine_passes: 8,
             matching: MatchingScheme::HeavyEdge,
             weighting: VertexWeighting::Unit,
-            seed: 0x4d45_5449_53, // "METIS"
+            seed: 0x004d_4554_4953, // "METIS"
         }
     }
 }
@@ -146,11 +146,7 @@ impl Partitioner for MultilevelPartitioner {
 /// This is the library entry point behind [`MultilevelPartitioner`];
 /// exposed for benchmarks that want to sweep configurations without the
 /// trait indirection.
-pub fn kway(
-    csr: &Csr,
-    k: blockpart_types::ShardCount,
-    config: &MultilevelConfig,
-) -> Partition {
+pub fn kway(csr: &Csr, k: blockpart_types::ShardCount, config: &MultilevelConfig) -> Partition {
     let n = csr.node_count();
     if n == 0 {
         return Partition::all_on_first(0, k);
@@ -185,7 +181,13 @@ pub fn kway(
     // ---- Phase 2: initial partitioning on the coarsest graph ------------
     let mut part = initial::recursive_bisection(&current, k, config, &mut rng);
     let max_weights = refine::max_shard_weights(&current, k, config.imbalance);
-    refine::kway_refine(&current, &mut part, &max_weights, config.refine_passes, &mut rng);
+    refine::kway_refine(
+        &current,
+        &mut part,
+        &max_weights,
+        config.refine_passes,
+        &mut rng,
+    );
 
     // ---- Phase 3: uncoarsening + refinement ------------------------------
     for (fine, map) in levels.into_iter().rev() {
@@ -196,7 +198,13 @@ pub fn kway(
         part = Partition::from_assignment(fine_assignment, k)
             .expect("projected assignment stays within k");
         let max_weights = refine::max_shard_weights(&fine, k, config.imbalance);
-        refine::kway_refine(&fine, &mut part, &max_weights, config.refine_passes, &mut rng);
+        refine::kway_refine(
+            &fine,
+            &mut part,
+            &max_weights,
+            config.refine_passes,
+            &mut rng,
+        );
     }
 
     part
@@ -334,7 +342,11 @@ mod tests {
         };
         let p = kway(&csr, k(2), &cfg);
         let m = CutMetrics::compute(&csr, &p);
-        assert!(m.dynamic_balance < 1.4, "dynamic balance {}", m.dynamic_balance);
+        assert!(
+            m.dynamic_balance < 1.4,
+            "dynamic balance {}",
+            m.dynamic_balance
+        );
     }
 
     #[test]

@@ -201,7 +201,11 @@ impl Partitioner for Fennel {
 /// shard received at least one vertex (a frequent failure mode of greedy
 /// streams on small graphs).
 pub fn covers_all_shards(partition: &Partition, k: ShardCount) -> bool {
-    partition.shard_sizes().iter().take(k.as_usize()).all(|&s| s > 0)
+    partition
+        .shard_sizes()
+        .iter()
+        .take(k.as_usize())
+        .all(|&s| s > 0)
 }
 
 #[cfg(test)]

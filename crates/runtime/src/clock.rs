@@ -1,0 +1,142 @@
+//! The deterministic event clock.
+//!
+//! All engine activity flows through one priority queue keyed by
+//! `(virtual time, sequence number)`. Sequence numbers are handed out in
+//! a deterministic order by the engine loop, so two runs with the same
+//! inputs process events identically — regardless of how many worker
+//! threads execute each batch.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use blockpart_types::ShardId;
+
+use crate::event::Event;
+
+/// Virtual time in microseconds since the start of the replay.
+pub type Micros = u64;
+
+struct Scheduled {
+    time: Micros,
+    seq: u64,
+    shard: ShardId,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // reversed: BinaryHeap is a max-heap, we want the earliest first
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// The engine's event queue.
+///
+/// # Examples
+///
+/// ```
+/// use blockpart_runtime::clock::EventQueue;
+/// use blockpart_runtime::event::{Event, TxId};
+/// use blockpart_types::ShardId;
+///
+/// let mut q = EventQueue::new();
+/// q.push(20, ShardId::new(1), Event::Arrival(TxId(1)));
+/// q.push(10, ShardId::new(0), Event::Arrival(TxId(0)));
+/// let (t, batch) = q.pop_batch().unwrap();
+/// assert_eq!(t, 10);
+/// assert_eq!(batch.len(), 1);
+/// ```
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `event` on `shard` at absolute virtual time `time`.
+    /// Insertion order breaks ties at equal times.
+    pub fn push(&mut self, time: Micros, shard: ShardId, event: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled {
+            time,
+            seq,
+            shard,
+            event,
+        });
+    }
+
+    /// Pops every event scheduled at the earliest pending instant, in
+    /// insertion order. Returns `None` when the queue is empty.
+    pub fn pop_batch(&mut self) -> Option<(Micros, Vec<(ShardId, Event)>)> {
+        let first = self.heap.pop()?;
+        let time = first.time;
+        let mut batch = vec![(first.shard, first.event)];
+        while let Some(next) = self.heap.peek() {
+            if next.time != time {
+                break;
+            }
+            let next = self.heap.pop().expect("peeked");
+            batch.push((next.shard, next.event));
+        }
+        Some((time, batch))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TxId;
+
+    #[test]
+    fn batches_group_equal_times_in_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(5, ShardId::new(1), Event::Arrival(TxId(1)));
+        q.push(5, ShardId::new(0), Event::Arrival(TxId(0)));
+        q.push(9, ShardId::new(0), Event::Arrival(TxId(2)));
+        let (t, batch) = q.pop_batch().unwrap();
+        assert_eq!(t, 5);
+        let ids: Vec<u16> = batch.iter().map(|(s, _)| s.as_u16()).collect();
+        assert_eq!(ids, vec![1, 0]); // insertion order, not shard order
+        let (t2, batch2) = q.pop_batch().unwrap();
+        assert_eq!((t2, batch2.len()), (9, 1));
+        assert!(q.pop_batch().is_none());
+    }
+
+    #[test]
+    fn len_tracks_pushes() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1, ShardId::new(0), Event::Arrival(TxId(0)));
+        assert_eq!(q.len(), 1);
+    }
+}

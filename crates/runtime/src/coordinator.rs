@@ -1,0 +1,81 @@
+//! Per-transaction two-phase-commit coordinator state.
+//!
+//! Every cross-shard transaction is coordinated by its home shard. The
+//! state machine is: `Prepare` broadcast → collect votes → on unanimous
+//! yes, execute on a scratch world assembled from the shipped snapshots →
+//! `Commit` broadcast with write-sets → collect acks → committed. Any
+//! `no` vote aborts the round; the coordinator backs off and retries up
+//! to a configured attempt cap.
+
+use blockpart_ethereum::{AddressState, World};
+use blockpart_types::{Address, ShardId};
+
+/// Coordinator-side state of one in-flight cross-shard transaction.
+#[derive(Debug)]
+pub struct CoordState {
+    /// 1-based prepare-round counter.
+    pub attempt: u32,
+    /// Votes still outstanding in this round.
+    pub votes_pending: usize,
+    /// Whether any participant voted `no` this round.
+    pub any_no: bool,
+    /// Participants that voted `yes` and therefore hold locks.
+    pub locked: Vec<ShardId>,
+    /// State snapshots shipped with the `yes` votes.
+    pub shipped: Vec<(Address, AddressState)>,
+    /// The scratch world while the transaction executes.
+    pub scratch: Option<World>,
+    /// Contracts the execution created (installed on the home shard at
+    /// commit).
+    pub created: Vec<Address>,
+    /// Acks still outstanding after the `Commit` broadcast.
+    pub acks_pending: usize,
+}
+
+impl CoordState {
+    /// Opens prepare round `attempt` awaiting `participants` votes.
+    pub fn new_round(attempt: u32, participants: usize) -> Self {
+        CoordState {
+            attempt,
+            votes_pending: participants,
+            any_no: false,
+            locked: Vec::new(),
+            shipped: Vec::new(),
+            scratch: None,
+            created: Vec::new(),
+            acks_pending: 0,
+        }
+    }
+
+    /// Records one vote; returns `true` when the round is complete.
+    pub fn record_vote(
+        &mut self,
+        from: ShardId,
+        ok: bool,
+        shipped: Vec<(Address, AddressState)>,
+    ) -> bool {
+        debug_assert!(self.votes_pending > 0, "vote after round completion");
+        self.votes_pending -= 1;
+        if ok {
+            self.locked.push(from);
+            self.shipped.extend(shipped);
+        } else {
+            self.any_no = true;
+        }
+        self.votes_pending == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_completes_after_all_votes() {
+        let mut c = CoordState::new_round(1, 2);
+        assert!(!c.record_vote(ShardId::new(0), true, Vec::new()));
+        assert!(c.record_vote(ShardId::new(1), false, Vec::new()));
+        assert!(c.any_no);
+        assert_eq!(c.locked, vec![ShardId::new(0)]);
+    }
+}

@@ -1,0 +1,94 @@
+//! The message vocabulary of the two-phase-commit protocol and the
+//! network latency model.
+
+use blockpart_ethereum::AddressState;
+use blockpart_types::{Address, ShardId};
+
+use crate::event::TxId;
+
+/// One protocol message in flight between two shards.
+#[derive(Clone, Debug)]
+pub struct Message {
+    /// Sending shard.
+    pub from: ShardId,
+    /// Protocol content.
+    pub payload: Payload,
+}
+
+/// The 2PC protocol messages.
+///
+/// State ships with the protocol: a `yes` vote carries the participant's
+/// snapshots of the addresses it locked (so the coordinator can assemble
+/// a scratch world), and `Commit` carries the post-execution write-set
+/// back.
+#[derive(Clone, Debug)]
+pub enum Payload {
+    /// Coordinator → participant: lock this transaction's footprint on
+    /// your shard and vote.
+    Prepare {
+        /// The transaction being coordinated.
+        tx: TxId,
+        /// 1-based attempt counter (retries after aborts).
+        attempt: u32,
+    },
+    /// Participant → coordinator: lock outcome, with state snapshots on
+    /// success.
+    Vote {
+        /// The transaction being coordinated.
+        tx: TxId,
+        /// Whether every footprint address was locked.
+        ok: bool,
+        /// Snapshots of the locked addresses' state.
+        shipped: Vec<(Address, AddressState)>,
+    },
+    /// Coordinator → participant: apply this write-set, release locks,
+    /// acknowledge.
+    Commit {
+        /// The transaction being coordinated.
+        tx: TxId,
+        /// Post-execution state for the participant's footprint
+        /// addresses.
+        writes: Vec<(Address, AddressState)>,
+    },
+    /// Coordinator → participant: release locks, the round failed.
+    Abort {
+        /// The transaction being coordinated.
+        tx: TxId,
+    },
+    /// Participant → coordinator: commit applied.
+    Ack {
+        /// The transaction being coordinated.
+        tx: TxId,
+    },
+}
+
+/// Fixed-latency network: intra-shard delivery is free, inter-shard
+/// delivery costs one configured one-way latency.
+#[derive(Clone, Copy, Debug)]
+pub struct NetworkModel {
+    /// One-way inter-shard latency in microseconds.
+    pub latency_us: u64,
+}
+
+impl NetworkModel {
+    /// Delivery delay from `from` to `to`.
+    pub fn delay(&self, from: ShardId, to: ShardId) -> u64 {
+        if from == to {
+            0
+        } else {
+            self.latency_us
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_delivery_is_free() {
+        let net = NetworkModel { latency_us: 500 };
+        assert_eq!(net.delay(ShardId::new(1), ShardId::new(1)), 0);
+        assert_eq!(net.delay(ShardId::new(0), ShardId::new(1)), 500);
+    }
+}

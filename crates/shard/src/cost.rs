@@ -124,8 +124,7 @@ impl CostModel {
 
     /// Mean sustained fraction and speed-up across a whole run.
     pub fn run_summary(&self, result: &SimulationResult, k: usize) -> WindowThroughput {
-        let active: Vec<&WindowRecord> =
-            result.windows.iter().filter(|w| w.events > 0).collect();
+        let active: Vec<&WindowRecord> = result.windows.iter().filter(|w| w.events > 0).collect();
         if active.is_empty() {
             return WindowThroughput {
                 bottleneck_load: 0.0,
@@ -186,7 +185,11 @@ mod tests {
         let good = model.window_throughput(&window(4_000, 0.0, 1.0), 4);
         let bad = model.window_throughput(&window(4_000, 0.9, 1.0), 4);
         assert!(bad.sustained_fraction < good.sustained_fraction);
-        assert!(bad.speedup < 1.0, "poorly partitioned sharding should lose to one machine: {}", bad.speedup);
+        assert!(
+            bad.speedup < 1.0,
+            "poorly partitioned sharding should lose to one machine: {}",
+            bad.speedup
+        );
     }
 
     #[test]
@@ -229,7 +232,11 @@ mod tests {
     fn run_summary_averages() {
         let model = CostModel::default();
         let result = SimulationResult {
-            windows: vec![window(1_000, 0.0, 1.0), window(1_000, 1.0, 2.0), window(0, 0.0, 1.0)],
+            windows: vec![
+                window(1_000, 0.0, 1.0),
+                window(1_000, 1.0, 2.0),
+                window(0, 0.0, 1.0),
+            ],
             ..SimulationResult::default()
         };
         let s = model.run_summary(&result, 2);

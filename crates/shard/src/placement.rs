@@ -116,6 +116,9 @@ mod tests {
             let s = PlacementRule::Hash.place(&st, addr(i), None);
             counts[s.as_usize()] += 1;
         }
-        assert!(counts.iter().all(|&c| (800..1200).contains(&c)), "{counts:?}");
+        assert!(
+            counts.iter().all(|&c| (800..1200).contains(&c)),
+            "{counts:?}"
+        );
     }
 }

@@ -235,6 +235,12 @@ impl ShardSimulator {
         &self.state
     }
 
+    /// Consumes the simulator and returns its final sharded state, e.g.
+    /// to hand the assignment to the execution runtime.
+    pub fn into_state(self) -> ShardedState {
+        self.state
+    }
+
     /// Runs the whole log and returns per-window records plus totals.
     pub fn run(&mut self, log: &InteractionLog) -> SimulationResult {
         let mut result = SimulationResult::default();
@@ -395,7 +401,12 @@ impl ShardSimulator {
             let target = new_partition.shard_of(i);
             if self.state.move_vertex(address, target) {
                 moves += 1;
-                units += 1 + self.config.contract_sizes.get(&address).copied().unwrap_or(0);
+                units += 1 + self
+                    .config
+                    .contract_sizes
+                    .get(&address)
+                    .copied()
+                    .unwrap_or(0);
             }
         }
         (moves, units)
@@ -483,7 +494,11 @@ mod tests {
         let r = sim.run(&log);
         assert!(r.total_moves > 0);
         let last = r.windows.last().unwrap();
-        assert!(last.dynamic_balance < 1.9, "balance {}", last.dynamic_balance);
+        assert!(
+            last.dynamic_balance < 1.9,
+            "balance {}",
+            last.dynamic_balance
+        );
     }
 
     #[test]
@@ -625,6 +640,9 @@ mod tests {
         let r = sim.run(&log);
         let day1 = r.windows_in(Timestamp::EPOCH, Timestamp::from_secs(86_400));
         assert_eq!(day1.len(), 6);
-        assert_eq!(r.moves_in(Timestamp::EPOCH, Timestamp::from_secs(u64::MAX)), 0);
+        assert_eq!(
+            r.moves_in(Timestamp::EPOCH, Timestamp::from_secs(u64::MAX)),
+            0
+        );
     }
 }

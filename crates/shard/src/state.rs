@@ -293,6 +293,12 @@ impl ShardedState {
         (csr, self.order.clone(), ids, partition)
     }
 
+    /// A snapshot of the full vertex→shard assignment — the handoff from
+    /// the partitioning simulator to the sharded execution runtime.
+    pub fn assignment_map(&self) -> HashMap<Address, ShardId> {
+        self.assignment.clone()
+    }
+
     /// The current assignment of `addresses` as a [`Partition`] (vertices
     /// in the given order).
     ///

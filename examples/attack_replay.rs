@@ -71,7 +71,11 @@ fn main() {
         let (lo, hi) = (day(week * 7), day((week + 1) * 7));
         let mean = |r: &blockpart::shard::SimulationResult,
                     f: &dyn Fn(&blockpart::shard::WindowRecord) -> f64| {
-            let ws: Vec<_> = r.windows_in(lo, hi).iter().filter(|w| w.events > 0).collect();
+            let ws: Vec<_> = r
+                .windows_in(lo, hi)
+                .iter()
+                .filter(|w| w.events > 0)
+                .collect();
             if ws.is_empty() {
                 f64::NAN
             } else {
@@ -79,12 +83,23 @@ fn main() {
             }
         };
         table.row(vec![
-            format!("{}{}", week + 1, if (3..5).contains(&week) { " (attack)" } else { "" }),
+            format!(
+                "{}{}",
+                week + 1,
+                if (3..5).contains(&week) {
+                    " (attack)"
+                } else {
+                    ""
+                }
+            ),
             format!("{:.2}", mean(metis, &|w| w.dynamic_balance)),
             format!("{:.2}", mean(rmetis, &|w| w.dynamic_balance)),
             format!("{:.2}", mean(metis, &|w| w.static_balance)),
         ]);
     }
     println!("{}", table.render_ascii());
-    println!("METIS moves: {}   R-METIS moves: {}", metis.total_moves, rmetis.total_moves);
+    println!(
+        "METIS moves: {}   R-METIS moves: {}",
+        metis.total_moves, rmetis.total_moves
+    );
 }

@@ -23,9 +23,10 @@ fn main() {
     // -- deploy the dApp ----------------------------------------------------
     let founder = chain.world_mut().new_user(Wei::new(1_000_000_000));
     let treasury = chain.world_mut().new_user(Wei::ZERO);
-    let token = chain
-        .world_mut()
-        .create_contract(ContractTemplate::Token, founder, founder.index());
+    let token =
+        chain
+            .world_mut()
+            .create_contract(ContractTemplate::Token, founder, founder.index());
     let sale = chain
         .world_mut()
         .create_contract(ContractTemplate::Crowdsale, founder, 0);
@@ -44,7 +45,7 @@ fn main() {
     for round in 0..50u64 {
         let mut txs = Vec::new();
         for (i, &c) in contributors.iter().enumerate() {
-            if (i as u64 + round) % 5 == 0 {
+            if (i as u64 + round).is_multiple_of(5) {
                 txs.push(Transaction {
                     from: c,
                     to: sale,

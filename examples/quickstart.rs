@@ -14,7 +14,10 @@ fn main() {
     // A 14-day toy history (a few thousand transactions). Swap in
     // `GeneratorConfig::demo_scale(7)` for the full 30-month timeline.
     let config = GeneratorConfig::test_scale(7);
-    println!("generating synthetic chain (seed {}, scale {})...", config.seed, config.scale);
+    println!(
+        "generating synthetic chain (seed {}, scale {})...",
+        config.seed, config.scale
+    );
     let chain = ChainGenerator::new(config).generate();
     println!(
         "  {} blocks, {} transactions, {} interactions, {} contracts\n",

@@ -4,6 +4,7 @@
 //! blockpart generate --scale 0.001 --seed 42 --out trace.txt
 //! blockpart study    --scale 0.001 --seed 42 --methods hash,metis --shards 2,8
 //! blockpart offline  --scale 0.001 --shards 2     # streaming vs multilevel
+//! blockpart runtime  --scale 0.001 --shards 1,2,4 # 2PC execution replay
 //! blockpart help
 //! ```
 
@@ -14,7 +15,7 @@ use std::process::ExitCode;
 
 use blockpart::core::ablation::{offline_partitioner_comparison, offline_table};
 use blockpart::core::experiments::{fig5_rows, fig5_table};
-use blockpart::core::{Method, Study};
+use blockpart::core::{runtime_table, Method, RuntimeStudy, Study};
 use blockpart::ethereum::gen::{ChainGenerator, GeneratorConfig};
 use blockpart::graph::io::write_trace;
 use blockpart::types::ShardCount;
@@ -37,6 +38,13 @@ COMMANDS:
     offline    one-shot partitioner comparison on the final graph
                --scale, --seed as above
                --shards <k>     single shard count     (default 2)
+    runtime    execute the chain on each method's assignment through the
+               sharded 2PC runtime and report coordination costs
+               --scale, --seed as above
+               --methods <m,..>  (default hash,metis)
+               --shards <k,..>   shard counts           (default 1,2,4)
+               --latency-us <n>  one-way net latency    (default 1000)
+               --arrival-us <n>  arrival gap / offered load (default 500)
     help       print this message
 ";
 
@@ -61,6 +69,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "generate" => cmd_generate(&opts),
         "study" => cmd_study(&opts),
         "offline" => cmd_offline(&opts),
+        "runtime" => cmd_runtime(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -169,9 +178,10 @@ fn cmd_generate(opts: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_study(opts: &HashMap<String, String>) -> Result<(), String> {
-    let chain = generate(opts)?;
+    // validate all options before the (expensive) generation
     let methods = methods_of(opts)?;
     let shards = shards_of(opts, &[2, 4, 8])?;
+    let chain = generate(opts)?;
     let result = Study::new(&chain.log)
         .methods(methods)
         .shard_counts(shards)
@@ -187,6 +197,52 @@ fn cmd_offline(opts: &HashMap<String, String>) -> Result<(), String> {
     let k = *shards.first().ok_or("need one shard count")?;
     let rows = offline_partitioner_comparison(&chain.log, k);
     println!("{}", offline_table(&rows).render_ascii());
+    Ok(())
+}
+
+fn micros_of(opts: &HashMap<String, String>, key: &str, default: u64) -> Result<u64, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(s) => s.parse().map_err(|_| format!("invalid --{key} `{s}`")),
+    }
+}
+
+fn cmd_runtime(opts: &HashMap<String, String>) -> Result<(), String> {
+    // validate all options before the (expensive) generation
+    let methods = match opts.get("methods") {
+        None => vec![Method::Hash, Method::Metis],
+        Some(_) => methods_of(opts)?,
+    };
+    let shards = shards_of(opts, &[1, 2, 4])?;
+    let seed = seed_of(opts)?;
+    let latency_us = micros_of(opts, "latency-us", 1_000)?;
+    let arrival_us = micros_of(opts, "arrival-us", 500)?;
+    let chain = generate(opts)?;
+    let result = RuntimeStudy::new(&chain)
+        .methods(methods.clone())
+        .shard_counts(shards.clone())
+        .seed(seed)
+        .net_latency_us(latency_us)
+        .inter_arrival_us(arrival_us)
+        .run();
+    println!("{}", runtime_table(&result.runs).render_ascii());
+    // the headline the study exists to show: a better cut means fewer
+    // transactions pay the 2PC coordination tax
+    for &k in &shards {
+        if k.get() < 2 {
+            continue;
+        }
+        if let (Some(hash), Some(metis)) =
+            (result.get(Method::Hash, k), result.get(Method::Metis, k))
+        {
+            println!(
+                "k={}: cross-shard ratio hash {:.1}% vs metis {:.1}%",
+                k.get(),
+                hash.cross_shard_ratio * 100.0,
+                metis.cross_shard_ratio * 100.0
+            );
+        }
+    }
     Ok(())
 }
 

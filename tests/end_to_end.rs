@@ -40,7 +40,10 @@ fn paper_shapes_hold_end_to_end() {
     let hash2 = result.get(Method::Hash, k(2)).expect("ran");
     let hash8 = result.get(Method::Hash, k(8)).expect("ran");
     let cut = |r: &blockpart::shard::SimulationResult| {
-        r.windows.last().expect("windows").cumulative_dynamic_edge_cut
+        r.windows
+            .last()
+            .expect("windows")
+            .cumulative_dynamic_edge_cut
     };
     assert!(
         (0.40..=0.60).contains(&cut(hash2)),

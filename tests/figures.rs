@@ -2,8 +2,8 @@
 //! 30-month history (the same code path as the bench binaries).
 
 use blockpart::core::experiments::{
-    fig1_growth, fig1_table, fig2_dot, fig3_run, fig3_table, fig4_cells, fig4_periods,
-    fig4_table, fig5_rows, fig5_table,
+    fig1_growth, fig1_table, fig2_dot, fig3_run, fig3_table, fig4_cells, fig4_periods, fig4_table,
+    fig5_rows, fig5_table,
 };
 use blockpart::core::{Method, Study};
 use blockpart::ethereum::gen::{ChainGenerator, EraTimeline, GeneratorConfig};
@@ -25,7 +25,11 @@ fn small_history() -> &'static blockpart::ethereum::SyntheticChain {
 fn fig1_shape_exponential_then_attack_spike() {
     let chain = small_history();
     let growth = fig1_growth(&chain.log);
-    assert!(growth.len() >= 29, "should cover ~30 months: {}", growth.len());
+    assert!(
+        growth.len() >= 29,
+        "should cover ~30 months: {}",
+        growth.len()
+    );
 
     // growth is monotone
     for pair in growth.windows(2) {
@@ -89,7 +93,10 @@ fn fig3_hash_vs_metis_tradeoff() {
         .filter(|w| w.start >= late)
         .map(|w| w.static_balance)
         .fold(0.0f64, f64::max);
-    assert!(max_bal < 1.25, "hash static balance stays near 1: {max_bal}");
+    assert!(
+        max_bal < 1.25,
+        "hash static balance stays near 1: {max_bal}"
+    );
 
     // METIS: lower final cut than hashing, but worse dynamic balance
     let last_h = hash.windows.last().expect("windows");

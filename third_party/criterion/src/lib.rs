@@ -1,0 +1,201 @@
+//! Offline shim for the criterion API subset the workspace's benches use:
+//! `criterion_group!`/`criterion_main!`, benchmark groups with
+//! `sample_size`/`throughput`/`bench_with_input`/`finish`, `Bencher::iter`
+//! and `black_box`.
+//!
+//! Timing is a simple mean over a fixed number of timed batches — enough
+//! to compare orders of magnitude offline, not a statistics engine.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter, rendered `name/param`.
+    pub fn new<S: Display, P: Display>(name: S, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// A parameter-only id.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Throughput annotation (recorded, echoed in the report line).
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    samples: u32,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the mean time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / f64::from(self.samples);
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: u32,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed calls each benchmark performs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1) as u32;
+        self
+    }
+
+    /// Records a throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark over `input`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            mean_ns: 0.0,
+        };
+        f(&mut b, input);
+        self.report(&id.label, b.mean_ns);
+    }
+
+    /// Runs one benchmark with no input.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            mean_ns: 0.0,
+        };
+        f(&mut b);
+        self.report(&id.label, b.mean_ns);
+    }
+
+    fn report(&self, label: &str, mean_ns: f64) {
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+                format!("  {:.0} elem/s", n as f64 / (mean_ns * 1e-9))
+            }
+            Some(Throughput::Bytes(n)) if mean_ns > 0.0 => {
+                format!("  {:.0} B/s", n as f64 / (mean_ns * 1e-9))
+            }
+            _ => String::new(),
+        };
+        println!("{}/{label}: {:.1} µs/iter{rate}", self.name, mean_ns / 1e3);
+    }
+
+    /// Ends the group (formatting no-op).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver handed to each `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: 10,
+            mean_ns: 0.0,
+        };
+        f(&mut b);
+        println!("{name}: {:.1} µs/iter", b.mean_ns / 1e3);
+        self
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` to run the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(10));
+        let mut ran = 0u32;
+        g.bench_with_input(BenchmarkId::new("f", 1), &5u64, |b, &x| {
+            b.iter(|| {
+                ran += 1;
+                x * 2
+            })
+        });
+        g.finish();
+        assert!(ran >= 3);
+    }
+}

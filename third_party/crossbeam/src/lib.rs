@@ -1,0 +1,73 @@
+//! Offline shim for the `crossbeam::thread::scope` API, delegating to
+//! `std::thread::scope` (available since Rust 1.63).
+
+#![forbid(unsafe_code)]
+
+pub mod thread {
+    //! Scoped threads with crossbeam's calling convention.
+
+    use std::any::Any;
+
+    /// A scope handle whose `spawn` closures receive the scope again, as
+    /// crossbeam's do.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives a scope handle it
+        /// may use for nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be
+    /// spawned; joins them all before returning.
+    ///
+    /// Unlike crossbeam (which collects panics into the `Err` variant),
+    /// `std::thread::scope` propagates child panics, so the `Err` case is
+    /// never produced — callers' `.expect(...)` is a no-op.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_collects() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut out = vec![0u64; 4];
+        super::thread::scope(|scope| {
+            for (slot, &v) in out.iter_mut().zip(&data) {
+                scope.spawn(move |_| {
+                    *slot = v * 10;
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let mut a = 0u32;
+        super::thread::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| ()).join().unwrap();
+            });
+            a = 1;
+        })
+        .unwrap();
+        assert_eq!(a, 1);
+    }
+}

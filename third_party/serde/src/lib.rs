@@ -1,0 +1,19 @@
+//! Offline shim for serde: the marker traits plus the derive macros.
+//!
+//! The workspace uses serde purely as `#[derive(Serialize, Deserialize)]`
+//! annotations on data types; no serializer is ever invoked. The derives
+//! expand to nothing and the traits carry no methods, which keeps every
+//! annotated type compiling unchanged.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derives for offline builds.
+//!
+//! The workspace only uses serde for derive annotations; nothing calls a
+//! serializer at runtime, so expanding to nothing is sufficient.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; satisfies `#[derive(Serialize)]` and swallows
+/// `#[serde(...)]` helper attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; satisfies `#[derive(Deserialize)]` and swallows
+/// `#[serde(...)]` helper attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
