@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-445f280146e4ebcc.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/libablation-445f280146e4ebcc.rmeta: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

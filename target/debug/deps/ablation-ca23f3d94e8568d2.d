@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-ca23f3d94e8568d2.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-ca23f3d94e8568d2: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

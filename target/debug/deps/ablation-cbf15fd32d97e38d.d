@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation-cbf15fd32d97e38d.d: crates/bench/src/bin/ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation-cbf15fd32d97e38d.rmeta: crates/bench/src/bin/ablation.rs Cargo.toml
+
+crates/bench/src/bin/ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

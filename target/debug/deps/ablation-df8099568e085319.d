@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-df8099568e085319.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-df8099568e085319: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

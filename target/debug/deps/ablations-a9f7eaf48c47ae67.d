@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablations-a9f7eaf48c47ae67.d: crates/bench/benches/ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablations-a9f7eaf48c47ae67.rmeta: crates/bench/benches/ablations.rs Cargo.toml
+
+crates/bench/benches/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-f3f8ca3383d3b0cf.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/libablations-f3f8ca3383d3b0cf.rmeta: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

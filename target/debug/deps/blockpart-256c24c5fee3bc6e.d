@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/blockpart-256c24c5fee3bc6e.d: src/bin/blockpart.rs Cargo.toml
+
+/root/repo/target/debug/deps/libblockpart-256c24c5fee3bc6e.rmeta: src/bin/blockpart.rs Cargo.toml
+
+src/bin/blockpart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/blockpart-3eef3ea167443b24.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libblockpart-3eef3ea167443b24.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

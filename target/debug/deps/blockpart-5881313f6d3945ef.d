@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/blockpart-5881313f6d3945ef.d: src/lib.rs
+
+/root/repo/target/debug/deps/blockpart-5881313f6d3945ef: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/blockpart-5949159cfd24ad57.d: src/bin/blockpart.rs Cargo.toml
+
+/root/repo/target/debug/deps/libblockpart-5949159cfd24ad57.rmeta: src/bin/blockpart.rs Cargo.toml
+
+src/bin/blockpart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

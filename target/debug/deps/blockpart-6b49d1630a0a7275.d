@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/blockpart-6b49d1630a0a7275.d: src/bin/blockpart.rs
+
+/root/repo/target/debug/deps/libblockpart-6b49d1630a0a7275.rmeta: src/bin/blockpart.rs
+
+src/bin/blockpart.rs:

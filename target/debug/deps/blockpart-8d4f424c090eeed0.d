@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/blockpart-8d4f424c090eeed0.d: src/bin/blockpart.rs Cargo.toml
+
+/root/repo/target/debug/deps/libblockpart-8d4f424c090eeed0.rmeta: src/bin/blockpart.rs Cargo.toml
+
+src/bin/blockpart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

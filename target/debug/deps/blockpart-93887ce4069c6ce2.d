@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/blockpart-93887ce4069c6ce2.d: src/bin/blockpart.rs Cargo.toml
+
+/root/repo/target/debug/deps/libblockpart-93887ce4069c6ce2.rmeta: src/bin/blockpart.rs Cargo.toml
+
+src/bin/blockpart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/blockpart-94b250271f793272.d: src/bin/blockpart.rs
+
+/root/repo/target/debug/deps/blockpart-94b250271f793272: src/bin/blockpart.rs
+
+src/bin/blockpart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/blockpart-a33383d6d094b705.d: src/lib.rs
+
+/root/repo/target/debug/deps/libblockpart-a33383d6d094b705.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/blockpart-ae9c57d16c083347.d: src/lib.rs
+
+/root/repo/target/debug/deps/libblockpart-ae9c57d16c083347.rmeta: src/lib.rs
+
+src/lib.rs:

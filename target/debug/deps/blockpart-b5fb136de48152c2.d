@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/blockpart-b5fb136de48152c2.d: src/lib.rs
+
+/root/repo/target/debug/deps/libblockpart-b5fb136de48152c2.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libblockpart-b5fb136de48152c2.rmeta: src/lib.rs
+
+src/lib.rs:

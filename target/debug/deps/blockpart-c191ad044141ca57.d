@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/blockpart-c191ad044141ca57.d: src/bin/blockpart.rs
+
+/root/repo/target/debug/deps/blockpart-c191ad044141ca57: src/bin/blockpart.rs
+
+src/bin/blockpart.rs:

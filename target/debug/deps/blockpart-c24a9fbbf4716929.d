@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/blockpart-c24a9fbbf4716929.d: src/bin/blockpart.rs
+
+/root/repo/target/debug/deps/blockpart-c24a9fbbf4716929: src/bin/blockpart.rs
+
+src/bin/blockpart.rs:

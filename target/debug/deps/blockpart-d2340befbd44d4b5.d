@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/blockpart-d2340befbd44d4b5.d: src/bin/blockpart.rs
+
+/root/repo/target/debug/deps/blockpart-d2340befbd44d4b5: src/bin/blockpart.rs
+
+src/bin/blockpart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/blockpart-d4f1c1dbf79b3e95.d: src/lib.rs
+
+/root/repo/target/debug/deps/blockpart-d4f1c1dbf79b3e95: src/lib.rs
+
+src/lib.rs:

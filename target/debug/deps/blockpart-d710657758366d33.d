@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/blockpart-d710657758366d33.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libblockpart-d710657758366d33.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

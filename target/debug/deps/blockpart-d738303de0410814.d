@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/blockpart-d738303de0410814.d: src/lib.rs
+
+/root/repo/target/debug/deps/libblockpart-d738303de0410814.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libblockpart-d738303de0410814.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/blockpart_bench-2d9bc9247ca9774a.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libblockpart_bench-2d9bc9247ca9774a.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/blockpart_bench-55ed5e34b4c0c414.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libblockpart_bench-55ed5e34b4c0c414.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libblockpart_bench-55ed5e34b4c0c414.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

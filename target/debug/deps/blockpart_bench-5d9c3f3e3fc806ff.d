@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/blockpart_bench-5d9c3f3e3fc806ff.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libblockpart_bench-5d9c3f3e3fc806ff.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/blockpart_bench-6e934211ea780e6c.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libblockpart_bench-6e934211ea780e6c.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/blockpart_bench-a84800f71a0eb814.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/blockpart_bench-a84800f71a0eb814: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

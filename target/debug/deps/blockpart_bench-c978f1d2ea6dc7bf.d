@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/blockpart_bench-c978f1d2ea6dc7bf.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/blockpart_bench-c978f1d2ea6dc7bf: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/blockpart_bench-d5d7ad79a64ffce6.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libblockpart_bench-d5d7ad79a64ffce6.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libblockpart_bench-d5d7ad79a64ffce6.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

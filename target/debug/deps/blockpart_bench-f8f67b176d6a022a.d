@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/blockpart_bench-f8f67b176d6a022a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libblockpart_bench-f8f67b176d6a022a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

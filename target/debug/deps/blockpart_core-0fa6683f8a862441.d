@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/blockpart_core-0fa6683f8a862441.d: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/experiments.rs crates/core/src/methods.rs crates/core/src/runtime_study.rs crates/core/src/study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libblockpart_core-0fa6683f8a862441.rmeta: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/experiments.rs crates/core/src/methods.rs crates/core/src/runtime_study.rs crates/core/src/study.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/ablation.rs:
+crates/core/src/experiments.rs:
+crates/core/src/methods.rs:
+crates/core/src/runtime_study.rs:
+crates/core/src/study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/blockpart_core-1ac284e869039f03.d: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/experiments.rs crates/core/src/methods.rs crates/core/src/runtime_study.rs crates/core/src/study.rs
+
+/root/repo/target/debug/deps/libblockpart_core-1ac284e869039f03.rmeta: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/experiments.rs crates/core/src/methods.rs crates/core/src/runtime_study.rs crates/core/src/study.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ablation.rs:
+crates/core/src/experiments.rs:
+crates/core/src/methods.rs:
+crates/core/src/runtime_study.rs:
+crates/core/src/study.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/blockpart_core-9f67e4c8c4cf72c8.d: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/experiments.rs crates/core/src/methods.rs crates/core/src/runtime_study.rs crates/core/src/study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libblockpart_core-9f67e4c8c4cf72c8.rmeta: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/experiments.rs crates/core/src/methods.rs crates/core/src/runtime_study.rs crates/core/src/study.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/ablation.rs:
+crates/core/src/experiments.rs:
+crates/core/src/methods.rs:
+crates/core/src/runtime_study.rs:
+crates/core/src/study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/blockpart_core-e593ff7e5e11dbe0.d: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/experiments.rs crates/core/src/methods.rs crates/core/src/runtime_study.rs crates/core/src/study.rs
+
+/root/repo/target/debug/deps/blockpart_core-e593ff7e5e11dbe0: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/experiments.rs crates/core/src/methods.rs crates/core/src/runtime_study.rs crates/core/src/study.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ablation.rs:
+crates/core/src/experiments.rs:
+crates/core/src/methods.rs:
+crates/core/src/runtime_study.rs:
+crates/core/src/study.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/blockpart_ethereum-b0e583c5351e2387.d: crates/ethereum/src/lib.rs crates/ethereum/src/block.rs crates/ethereum/src/chain.rs crates/ethereum/src/evm/mod.rs crates/ethereum/src/evm/gas.rs crates/ethereum/src/evm/opcode.rs crates/ethereum/src/evm/vm.rs crates/ethereum/src/gen/mod.rs crates/ethereum/src/gen/era.rs crates/ethereum/src/gen/generator.rs crates/ethereum/src/gen/workload.rs crates/ethereum/src/pool.rs crates/ethereum/src/program.rs crates/ethereum/src/state.rs crates/ethereum/src/transaction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libblockpart_ethereum-b0e583c5351e2387.rmeta: crates/ethereum/src/lib.rs crates/ethereum/src/block.rs crates/ethereum/src/chain.rs crates/ethereum/src/evm/mod.rs crates/ethereum/src/evm/gas.rs crates/ethereum/src/evm/opcode.rs crates/ethereum/src/evm/vm.rs crates/ethereum/src/gen/mod.rs crates/ethereum/src/gen/era.rs crates/ethereum/src/gen/generator.rs crates/ethereum/src/gen/workload.rs crates/ethereum/src/pool.rs crates/ethereum/src/program.rs crates/ethereum/src/state.rs crates/ethereum/src/transaction.rs Cargo.toml
+
+crates/ethereum/src/lib.rs:
+crates/ethereum/src/block.rs:
+crates/ethereum/src/chain.rs:
+crates/ethereum/src/evm/mod.rs:
+crates/ethereum/src/evm/gas.rs:
+crates/ethereum/src/evm/opcode.rs:
+crates/ethereum/src/evm/vm.rs:
+crates/ethereum/src/gen/mod.rs:
+crates/ethereum/src/gen/era.rs:
+crates/ethereum/src/gen/generator.rs:
+crates/ethereum/src/gen/workload.rs:
+crates/ethereum/src/pool.rs:
+crates/ethereum/src/program.rs:
+crates/ethereum/src/state.rs:
+crates/ethereum/src/transaction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/blockpart_ethereum-c4e43de70d3074a8.d: crates/ethereum/src/lib.rs crates/ethereum/src/block.rs crates/ethereum/src/chain.rs crates/ethereum/src/evm/mod.rs crates/ethereum/src/evm/gas.rs crates/ethereum/src/evm/opcode.rs crates/ethereum/src/evm/vm.rs crates/ethereum/src/gen/mod.rs crates/ethereum/src/gen/era.rs crates/ethereum/src/gen/generator.rs crates/ethereum/src/gen/workload.rs crates/ethereum/src/pool.rs crates/ethereum/src/program.rs crates/ethereum/src/state.rs crates/ethereum/src/transaction.rs
+
+/root/repo/target/debug/deps/blockpart_ethereum-c4e43de70d3074a8: crates/ethereum/src/lib.rs crates/ethereum/src/block.rs crates/ethereum/src/chain.rs crates/ethereum/src/evm/mod.rs crates/ethereum/src/evm/gas.rs crates/ethereum/src/evm/opcode.rs crates/ethereum/src/evm/vm.rs crates/ethereum/src/gen/mod.rs crates/ethereum/src/gen/era.rs crates/ethereum/src/gen/generator.rs crates/ethereum/src/gen/workload.rs crates/ethereum/src/pool.rs crates/ethereum/src/program.rs crates/ethereum/src/state.rs crates/ethereum/src/transaction.rs
+
+crates/ethereum/src/lib.rs:
+crates/ethereum/src/block.rs:
+crates/ethereum/src/chain.rs:
+crates/ethereum/src/evm/mod.rs:
+crates/ethereum/src/evm/gas.rs:
+crates/ethereum/src/evm/opcode.rs:
+crates/ethereum/src/evm/vm.rs:
+crates/ethereum/src/gen/mod.rs:
+crates/ethereum/src/gen/era.rs:
+crates/ethereum/src/gen/generator.rs:
+crates/ethereum/src/gen/workload.rs:
+crates/ethereum/src/pool.rs:
+crates/ethereum/src/program.rs:
+crates/ethereum/src/state.rs:
+crates/ethereum/src/transaction.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/blockpart_graph-12c37c14b5321476.d: crates/graph/src/lib.rs crates/graph/src/algos.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/event.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/node.rs Cargo.toml
+
+/root/repo/target/debug/deps/libblockpart_graph-12c37c14b5321476.rmeta: crates/graph/src/lib.rs crates/graph/src/algos.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/event.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/node.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/algos.rs:
+crates/graph/src/builder.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/event.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/io.rs:
+crates/graph/src/node.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/blockpart_graph-ba9b2917fabad60e.d: crates/graph/src/lib.rs crates/graph/src/algos.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/event.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/node.rs
+
+/root/repo/target/debug/deps/libblockpart_graph-ba9b2917fabad60e.rlib: crates/graph/src/lib.rs crates/graph/src/algos.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/event.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/node.rs
+
+/root/repo/target/debug/deps/libblockpart_graph-ba9b2917fabad60e.rmeta: crates/graph/src/lib.rs crates/graph/src/algos.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/event.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/node.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/algos.rs:
+crates/graph/src/builder.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/event.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/io.rs:
+crates/graph/src/node.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/blockpart_metrics-486bf42f4c3420aa.d: crates/metrics/src/lib.rs crates/metrics/src/calendar.rs crates/metrics/src/concentration.rs crates/metrics/src/histogram.rs crates/metrics/src/report.rs crates/metrics/src/series.rs crates/metrics/src/summary.rs
+
+/root/repo/target/debug/deps/libblockpart_metrics-486bf42f4c3420aa.rmeta: crates/metrics/src/lib.rs crates/metrics/src/calendar.rs crates/metrics/src/concentration.rs crates/metrics/src/histogram.rs crates/metrics/src/report.rs crates/metrics/src/series.rs crates/metrics/src/summary.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/calendar.rs:
+crates/metrics/src/concentration.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/report.rs:
+crates/metrics/src/series.rs:
+crates/metrics/src/summary.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/blockpart_metrics-65e7475c6a599326.d: crates/metrics/src/lib.rs crates/metrics/src/calendar.rs crates/metrics/src/concentration.rs crates/metrics/src/histogram.rs crates/metrics/src/report.rs crates/metrics/src/series.rs crates/metrics/src/summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libblockpart_metrics-65e7475c6a599326.rmeta: crates/metrics/src/lib.rs crates/metrics/src/calendar.rs crates/metrics/src/concentration.rs crates/metrics/src/histogram.rs crates/metrics/src/report.rs crates/metrics/src/series.rs crates/metrics/src/summary.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/calendar.rs:
+crates/metrics/src/concentration.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/report.rs:
+crates/metrics/src/series.rs:
+crates/metrics/src/summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/blockpart_metrics-7c5ee0306742cc8b.d: crates/metrics/src/lib.rs crates/metrics/src/calendar.rs crates/metrics/src/concentration.rs crates/metrics/src/histogram.rs crates/metrics/src/report.rs crates/metrics/src/series.rs crates/metrics/src/summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libblockpart_metrics-7c5ee0306742cc8b.rmeta: crates/metrics/src/lib.rs crates/metrics/src/calendar.rs crates/metrics/src/concentration.rs crates/metrics/src/histogram.rs crates/metrics/src/report.rs crates/metrics/src/series.rs crates/metrics/src/summary.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/calendar.rs:
+crates/metrics/src/concentration.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/report.rs:
+crates/metrics/src/series.rs:
+crates/metrics/src/summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

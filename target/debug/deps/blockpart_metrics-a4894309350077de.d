@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/blockpart_metrics-a4894309350077de.d: crates/metrics/src/lib.rs crates/metrics/src/calendar.rs crates/metrics/src/concentration.rs crates/metrics/src/histogram.rs crates/metrics/src/report.rs crates/metrics/src/series.rs crates/metrics/src/summary.rs
+
+/root/repo/target/debug/deps/libblockpart_metrics-a4894309350077de.rlib: crates/metrics/src/lib.rs crates/metrics/src/calendar.rs crates/metrics/src/concentration.rs crates/metrics/src/histogram.rs crates/metrics/src/report.rs crates/metrics/src/series.rs crates/metrics/src/summary.rs
+
+/root/repo/target/debug/deps/libblockpart_metrics-a4894309350077de.rmeta: crates/metrics/src/lib.rs crates/metrics/src/calendar.rs crates/metrics/src/concentration.rs crates/metrics/src/histogram.rs crates/metrics/src/report.rs crates/metrics/src/series.rs crates/metrics/src/summary.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/calendar.rs:
+crates/metrics/src/concentration.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/report.rs:
+crates/metrics/src/series.rs:
+crates/metrics/src/summary.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/blockpart_partition-4ac6404fe986e377.d: crates/partition/src/lib.rs crates/partition/src/hashing.rs crates/partition/src/kl/mod.rs crates/partition/src/kl/classic.rs crates/partition/src/kl/distributed.rs crates/partition/src/metrics.rs crates/partition/src/multilevel/mod.rs crates/partition/src/multilevel/coarsen.rs crates/partition/src/multilevel/initial.rs crates/partition/src/multilevel/matching.rs crates/partition/src/multilevel/refine.rs crates/partition/src/partition.rs crates/partition/src/streaming.rs crates/partition/src/traits.rs
+
+/root/repo/target/debug/deps/libblockpart_partition-4ac6404fe986e377.rmeta: crates/partition/src/lib.rs crates/partition/src/hashing.rs crates/partition/src/kl/mod.rs crates/partition/src/kl/classic.rs crates/partition/src/kl/distributed.rs crates/partition/src/metrics.rs crates/partition/src/multilevel/mod.rs crates/partition/src/multilevel/coarsen.rs crates/partition/src/multilevel/initial.rs crates/partition/src/multilevel/matching.rs crates/partition/src/multilevel/refine.rs crates/partition/src/partition.rs crates/partition/src/streaming.rs crates/partition/src/traits.rs
+
+crates/partition/src/lib.rs:
+crates/partition/src/hashing.rs:
+crates/partition/src/kl/mod.rs:
+crates/partition/src/kl/classic.rs:
+crates/partition/src/kl/distributed.rs:
+crates/partition/src/metrics.rs:
+crates/partition/src/multilevel/mod.rs:
+crates/partition/src/multilevel/coarsen.rs:
+crates/partition/src/multilevel/initial.rs:
+crates/partition/src/multilevel/matching.rs:
+crates/partition/src/multilevel/refine.rs:
+crates/partition/src/partition.rs:
+crates/partition/src/streaming.rs:
+crates/partition/src/traits.rs:

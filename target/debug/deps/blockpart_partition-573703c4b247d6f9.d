@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/blockpart_partition-573703c4b247d6f9.d: crates/partition/src/lib.rs crates/partition/src/hashing.rs crates/partition/src/kl/mod.rs crates/partition/src/kl/classic.rs crates/partition/src/kl/distributed.rs crates/partition/src/metrics.rs crates/partition/src/multilevel/mod.rs crates/partition/src/multilevel/coarsen.rs crates/partition/src/multilevel/initial.rs crates/partition/src/multilevel/matching.rs crates/partition/src/multilevel/refine.rs crates/partition/src/partition.rs crates/partition/src/streaming.rs crates/partition/src/traits.rs Cargo.toml
+
+/root/repo/target/debug/deps/libblockpart_partition-573703c4b247d6f9.rmeta: crates/partition/src/lib.rs crates/partition/src/hashing.rs crates/partition/src/kl/mod.rs crates/partition/src/kl/classic.rs crates/partition/src/kl/distributed.rs crates/partition/src/metrics.rs crates/partition/src/multilevel/mod.rs crates/partition/src/multilevel/coarsen.rs crates/partition/src/multilevel/initial.rs crates/partition/src/multilevel/matching.rs crates/partition/src/multilevel/refine.rs crates/partition/src/partition.rs crates/partition/src/streaming.rs crates/partition/src/traits.rs Cargo.toml
+
+crates/partition/src/lib.rs:
+crates/partition/src/hashing.rs:
+crates/partition/src/kl/mod.rs:
+crates/partition/src/kl/classic.rs:
+crates/partition/src/kl/distributed.rs:
+crates/partition/src/metrics.rs:
+crates/partition/src/multilevel/mod.rs:
+crates/partition/src/multilevel/coarsen.rs:
+crates/partition/src/multilevel/initial.rs:
+crates/partition/src/multilevel/matching.rs:
+crates/partition/src/multilevel/refine.rs:
+crates/partition/src/partition.rs:
+crates/partition/src/streaming.rs:
+crates/partition/src/traits.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/blockpart_runtime-21df73eef9a31cd1.d: crates/runtime/src/lib.rs crates/runtime/src/clock.rs crates/runtime/src/coordinator.rs crates/runtime/src/event.rs crates/runtime/src/locks.rs crates/runtime/src/net.rs crates/runtime/src/report.rs crates/runtime/src/shard_worker.rs
+
+/root/repo/target/debug/deps/libblockpart_runtime-21df73eef9a31cd1.rlib: crates/runtime/src/lib.rs crates/runtime/src/clock.rs crates/runtime/src/coordinator.rs crates/runtime/src/event.rs crates/runtime/src/locks.rs crates/runtime/src/net.rs crates/runtime/src/report.rs crates/runtime/src/shard_worker.rs
+
+/root/repo/target/debug/deps/libblockpart_runtime-21df73eef9a31cd1.rmeta: crates/runtime/src/lib.rs crates/runtime/src/clock.rs crates/runtime/src/coordinator.rs crates/runtime/src/event.rs crates/runtime/src/locks.rs crates/runtime/src/net.rs crates/runtime/src/report.rs crates/runtime/src/shard_worker.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/clock.rs:
+crates/runtime/src/coordinator.rs:
+crates/runtime/src/event.rs:
+crates/runtime/src/locks.rs:
+crates/runtime/src/net.rs:
+crates/runtime/src/report.rs:
+crates/runtime/src/shard_worker.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/blockpart_runtime-351d3856810ed3af.d: crates/runtime/src/lib.rs crates/runtime/src/clock.rs crates/runtime/src/coordinator.rs crates/runtime/src/event.rs crates/runtime/src/locks.rs crates/runtime/src/net.rs crates/runtime/src/report.rs crates/runtime/src/shard_worker.rs Cargo.toml
+
+/root/repo/target/debug/deps/libblockpart_runtime-351d3856810ed3af.rmeta: crates/runtime/src/lib.rs crates/runtime/src/clock.rs crates/runtime/src/coordinator.rs crates/runtime/src/event.rs crates/runtime/src/locks.rs crates/runtime/src/net.rs crates/runtime/src/report.rs crates/runtime/src/shard_worker.rs Cargo.toml
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/clock.rs:
+crates/runtime/src/coordinator.rs:
+crates/runtime/src/event.rs:
+crates/runtime/src/locks.rs:
+crates/runtime/src/net.rs:
+crates/runtime/src/report.rs:
+crates/runtime/src/shard_worker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/blockpart_runtime-7b93cd1a0f5c4f22.d: crates/runtime/src/lib.rs crates/runtime/src/clock.rs crates/runtime/src/coordinator.rs crates/runtime/src/event.rs crates/runtime/src/locks.rs crates/runtime/src/net.rs crates/runtime/src/report.rs crates/runtime/src/shard_worker.rs
+
+/root/repo/target/debug/deps/blockpart_runtime-7b93cd1a0f5c4f22: crates/runtime/src/lib.rs crates/runtime/src/clock.rs crates/runtime/src/coordinator.rs crates/runtime/src/event.rs crates/runtime/src/locks.rs crates/runtime/src/net.rs crates/runtime/src/report.rs crates/runtime/src/shard_worker.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/clock.rs:
+crates/runtime/src/coordinator.rs:
+crates/runtime/src/event.rs:
+crates/runtime/src/locks.rs:
+crates/runtime/src/net.rs:
+crates/runtime/src/report.rs:
+crates/runtime/src/shard_worker.rs:

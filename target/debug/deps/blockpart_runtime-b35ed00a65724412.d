@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/blockpart_runtime-b35ed00a65724412.d: crates/runtime/src/lib.rs crates/runtime/src/clock.rs crates/runtime/src/coordinator.rs crates/runtime/src/event.rs crates/runtime/src/locks.rs crates/runtime/src/net.rs crates/runtime/src/report.rs crates/runtime/src/shard_worker.rs
+
+/root/repo/target/debug/deps/libblockpart_runtime-b35ed00a65724412.rmeta: crates/runtime/src/lib.rs crates/runtime/src/clock.rs crates/runtime/src/coordinator.rs crates/runtime/src/event.rs crates/runtime/src/locks.rs crates/runtime/src/net.rs crates/runtime/src/report.rs crates/runtime/src/shard_worker.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/clock.rs:
+crates/runtime/src/coordinator.rs:
+crates/runtime/src/event.rs:
+crates/runtime/src/locks.rs:
+crates/runtime/src/net.rs:
+crates/runtime/src/report.rs:
+crates/runtime/src/shard_worker.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/blockpart_shard-8ee20ed43cb0e388.d: crates/shard/src/lib.rs crates/shard/src/cost.rs crates/shard/src/placement.rs crates/shard/src/policy.rs crates/shard/src/simulator.rs crates/shard/src/state.rs Cargo.toml
+
+/root/repo/target/debug/deps/libblockpart_shard-8ee20ed43cb0e388.rmeta: crates/shard/src/lib.rs crates/shard/src/cost.rs crates/shard/src/placement.rs crates/shard/src/policy.rs crates/shard/src/simulator.rs crates/shard/src/state.rs Cargo.toml
+
+crates/shard/src/lib.rs:
+crates/shard/src/cost.rs:
+crates/shard/src/placement.rs:
+crates/shard/src/policy.rs:
+crates/shard/src/simulator.rs:
+crates/shard/src/state.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

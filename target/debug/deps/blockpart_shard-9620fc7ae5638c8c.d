@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/blockpart_shard-9620fc7ae5638c8c.d: crates/shard/src/lib.rs crates/shard/src/cost.rs crates/shard/src/placement.rs crates/shard/src/policy.rs crates/shard/src/simulator.rs crates/shard/src/state.rs
+
+/root/repo/target/debug/deps/libblockpart_shard-9620fc7ae5638c8c.rmeta: crates/shard/src/lib.rs crates/shard/src/cost.rs crates/shard/src/placement.rs crates/shard/src/policy.rs crates/shard/src/simulator.rs crates/shard/src/state.rs
+
+crates/shard/src/lib.rs:
+crates/shard/src/cost.rs:
+crates/shard/src/placement.rs:
+crates/shard/src/policy.rs:
+crates/shard/src/simulator.rs:
+crates/shard/src/state.rs:

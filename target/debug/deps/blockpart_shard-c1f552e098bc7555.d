@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/blockpart_shard-c1f552e098bc7555.d: crates/shard/src/lib.rs crates/shard/src/cost.rs crates/shard/src/placement.rs crates/shard/src/policy.rs crates/shard/src/simulator.rs crates/shard/src/state.rs Cargo.toml
+
+/root/repo/target/debug/deps/libblockpart_shard-c1f552e098bc7555.rmeta: crates/shard/src/lib.rs crates/shard/src/cost.rs crates/shard/src/placement.rs crates/shard/src/policy.rs crates/shard/src/simulator.rs crates/shard/src/state.rs Cargo.toml
+
+crates/shard/src/lib.rs:
+crates/shard/src/cost.rs:
+crates/shard/src/placement.rs:
+crates/shard/src/policy.rs:
+crates/shard/src/simulator.rs:
+crates/shard/src/state.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

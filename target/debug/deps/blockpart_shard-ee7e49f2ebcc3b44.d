@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/blockpart_shard-ee7e49f2ebcc3b44.d: crates/shard/src/lib.rs crates/shard/src/cost.rs crates/shard/src/placement.rs crates/shard/src/policy.rs crates/shard/src/simulator.rs crates/shard/src/state.rs
+
+/root/repo/target/debug/deps/libblockpart_shard-ee7e49f2ebcc3b44.rmeta: crates/shard/src/lib.rs crates/shard/src/cost.rs crates/shard/src/placement.rs crates/shard/src/policy.rs crates/shard/src/simulator.rs crates/shard/src/state.rs
+
+crates/shard/src/lib.rs:
+crates/shard/src/cost.rs:
+crates/shard/src/placement.rs:
+crates/shard/src/policy.rs:
+crates/shard/src/simulator.rs:
+crates/shard/src/state.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/blockpart_types-2e7d44882dbb256a.d: crates/types/src/lib.rs crates/types/src/address.rs crates/types/src/quantity.rs crates/types/src/shard.rs crates/types/src/time.rs
+
+/root/repo/target/debug/deps/blockpart_types-2e7d44882dbb256a: crates/types/src/lib.rs crates/types/src/address.rs crates/types/src/quantity.rs crates/types/src/shard.rs crates/types/src/time.rs
+
+crates/types/src/lib.rs:
+crates/types/src/address.rs:
+crates/types/src/quantity.rs:
+crates/types/src/shard.rs:
+crates/types/src/time.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/blockpart_types-4eac5c492b2021fb.d: crates/types/src/lib.rs crates/types/src/address.rs crates/types/src/quantity.rs crates/types/src/shard.rs crates/types/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libblockpart_types-4eac5c492b2021fb.rmeta: crates/types/src/lib.rs crates/types/src/address.rs crates/types/src/quantity.rs crates/types/src/shard.rs crates/types/src/time.rs Cargo.toml
+
+crates/types/src/lib.rs:
+crates/types/src/address.rs:
+crates/types/src/quantity.rs:
+crates/types/src/shard.rs:
+crates/types/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/blockpart_types-994f0f6d72b2ea03.d: crates/types/src/lib.rs crates/types/src/address.rs crates/types/src/quantity.rs crates/types/src/shard.rs crates/types/src/time.rs
+
+/root/repo/target/debug/deps/libblockpart_types-994f0f6d72b2ea03.rlib: crates/types/src/lib.rs crates/types/src/address.rs crates/types/src/quantity.rs crates/types/src/shard.rs crates/types/src/time.rs
+
+/root/repo/target/debug/deps/libblockpart_types-994f0f6d72b2ea03.rmeta: crates/types/src/lib.rs crates/types/src/address.rs crates/types/src/quantity.rs crates/types/src/shard.rs crates/types/src/time.rs
+
+crates/types/src/lib.rs:
+crates/types/src/address.rs:
+crates/types/src/quantity.rs:
+crates/types/src/shard.rs:
+crates/types/src/time.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/blockpart_types-a3d86c38bcc5a9b1.d: crates/types/src/lib.rs crates/types/src/address.rs crates/types/src/quantity.rs crates/types/src/shard.rs crates/types/src/time.rs
+
+/root/repo/target/debug/deps/libblockpart_types-a3d86c38bcc5a9b1.rmeta: crates/types/src/lib.rs crates/types/src/address.rs crates/types/src/quantity.rs crates/types/src/shard.rs crates/types/src/time.rs
+
+crates/types/src/lib.rs:
+crates/types/src/address.rs:
+crates/types/src/quantity.rs:
+crates/types/src/shard.rs:
+crates/types/src/time.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/blockpart_types-cde9a6f8f1321d39.d: crates/types/src/lib.rs crates/types/src/address.rs crates/types/src/quantity.rs crates/types/src/shard.rs crates/types/src/time.rs
+
+/root/repo/target/debug/deps/libblockpart_types-cde9a6f8f1321d39.rmeta: crates/types/src/lib.rs crates/types/src/address.rs crates/types/src/quantity.rs crates/types/src/shard.rs crates/types/src/time.rs
+
+crates/types/src/lib.rs:
+crates/types/src/address.rs:
+crates/types/src/quantity.rs:
+crates/types/src/shard.rs:
+crates/types/src/time.rs:

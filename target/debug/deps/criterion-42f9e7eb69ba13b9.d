@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-42f9e7eb69ba13b9.d: third_party/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-42f9e7eb69ba13b9.rmeta: third_party/criterion/src/lib.rs
+
+third_party/criterion/src/lib.rs:

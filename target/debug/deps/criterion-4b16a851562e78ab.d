@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-4b16a851562e78ab.d: third_party/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-4b16a851562e78ab.rlib: third_party/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-4b16a851562e78ab.rmeta: third_party/criterion/src/lib.rs
+
+third_party/criterion/src/lib.rs:

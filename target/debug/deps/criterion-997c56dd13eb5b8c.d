@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-997c56dd13eb5b8c.d: third_party/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-997c56dd13eb5b8c: third_party/criterion/src/lib.rs
+
+third_party/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-a3334031370b6b3b.d: third_party/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-a3334031370b6b3b.rmeta: third_party/criterion/src/lib.rs Cargo.toml
+
+third_party/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

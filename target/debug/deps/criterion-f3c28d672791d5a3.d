@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-f3c28d672791d5a3.d: third_party/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-f3c28d672791d5a3.rmeta: third_party/criterion/src/lib.rs
+
+third_party/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-0369be2fa7226ea5.d: third_party/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-0369be2fa7226ea5.rmeta: third_party/crossbeam/src/lib.rs
+
+third_party/crossbeam/src/lib.rs:

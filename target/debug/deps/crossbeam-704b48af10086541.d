@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crossbeam-704b48af10086541.d: third_party/crossbeam/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrossbeam-704b48af10086541.rmeta: third_party/crossbeam/src/lib.rs Cargo.toml
+
+third_party/crossbeam/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-8079c7a49542996e.d: third_party/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-8079c7a49542996e.rlib: third_party/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-8079c7a49542996e.rmeta: third_party/crossbeam/src/lib.rs
+
+third_party/crossbeam/src/lib.rs:

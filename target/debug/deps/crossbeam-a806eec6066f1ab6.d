@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-a806eec6066f1ab6.d: third_party/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-a806eec6066f1ab6.rmeta: third_party/crossbeam/src/lib.rs
+
+third_party/crossbeam/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crossbeam-bd313aa8c42cdd9e.d: third_party/crossbeam/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrossbeam-bd313aa8c42cdd9e.rmeta: third_party/crossbeam/src/lib.rs Cargo.toml
+
+third_party/crossbeam/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

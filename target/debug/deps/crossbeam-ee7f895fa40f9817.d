@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-ee7f895fa40f9817.d: third_party/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam-ee7f895fa40f9817: third_party/crossbeam/src/lib.rs
+
+third_party/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-ec7f8abf88d8f448.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-ec7f8abf88d8f448: tests/end_to_end.rs
+
+tests/end_to_end.rs:

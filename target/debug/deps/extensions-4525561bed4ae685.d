@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-4525561bed4ae685.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-4525561bed4ae685: tests/extensions.rs
+
+tests/extensions.rs:

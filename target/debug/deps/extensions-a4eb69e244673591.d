@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-a4eb69e244673591.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/libextensions-a4eb69e244673591.rmeta: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-b53cdc10a2af06c8.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-b53cdc10a2af06c8: tests/extensions.rs
+
+tests/extensions.rs:

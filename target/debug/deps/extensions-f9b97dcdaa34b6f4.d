@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-f9b97dcdaa34b6f4.d: tests/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-f9b97dcdaa34b6f4.rmeta: tests/extensions.rs Cargo.toml
+
+tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-08503e36c5199874.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-08503e36c5199874: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

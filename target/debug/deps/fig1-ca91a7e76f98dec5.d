@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-ca91a7e76f98dec5.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/libfig1-ca91a7e76f98dec5.rmeta: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-e0616a48b6bb238a.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-e0616a48b6bb238a: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-7b53b7d4b299ef7c.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-7b53b7d4b299ef7c: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

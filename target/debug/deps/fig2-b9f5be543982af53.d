@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-b9f5be543982af53.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-b9f5be543982af53: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

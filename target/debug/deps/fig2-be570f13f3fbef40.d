@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-be570f13f3fbef40.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/libfig2-be570f13f3fbef40.rmeta: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-224e59bc999c2b72.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-224e59bc999c2b72: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-43ec54af5b7e764d.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-43ec54af5b7e764d: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-fc433301a6935b58.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/libfig3-fc433301a6935b58.rmeta: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-7fb2f7997664c427.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-7fb2f7997664c427: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-98af25d04af6be62.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/libfig4-98af25d04af6be62.rmeta: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-b3d044aa5d942a4b.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-b3d044aa5d942a4b: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

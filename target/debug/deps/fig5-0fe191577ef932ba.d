@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-0fe191577ef932ba.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-0fe191577ef932ba: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

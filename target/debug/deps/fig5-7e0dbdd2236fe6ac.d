@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-7e0dbdd2236fe6ac.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-7e0dbdd2236fe6ac: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

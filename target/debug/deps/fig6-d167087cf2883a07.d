@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-d167087cf2883a07.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-d167087cf2883a07: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

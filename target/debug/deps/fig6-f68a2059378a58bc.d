@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-f68a2059378a58bc.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/libfig6-f68a2059378a58bc.rmeta: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-3b6ef6371ffb22c7.d: tests/figures.rs
+
+/root/repo/target/debug/deps/figures-3b6ef6371ffb22c7: tests/figures.rs
+
+tests/figures.rs:

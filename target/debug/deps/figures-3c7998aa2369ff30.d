@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-3c7998aa2369ff30.d: tests/figures.rs
+
+/root/repo/target/debug/deps/figures-3c7998aa2369ff30: tests/figures.rs
+
+tests/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-d7c568a4d4a1564b.d: tests/figures.rs
+
+/root/repo/target/debug/deps/libfigures-d7c568a4d4a1564b.rmeta: tests/figures.rs
+
+tests/figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/generator-683a6573e10d08b7.d: crates/bench/benches/generator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgenerator-683a6573e10d08b7.rmeta: crates/bench/benches/generator.rs Cargo.toml
+
+crates/bench/benches/generator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/generator-76be9b18fce9574e.d: crates/bench/benches/generator.rs
+
+/root/repo/target/debug/deps/libgenerator-76be9b18fce9574e.rmeta: crates/bench/benches/generator.rs
+
+crates/bench/benches/generator.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/generator-e5373aba3c476a75.d: crates/bench/benches/generator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgenerator-e5373aba3c476a75.rmeta: crates/bench/benches/generator.rs Cargo.toml
+
+crates/bench/benches/generator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

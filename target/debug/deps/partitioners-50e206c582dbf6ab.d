@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/partitioners-50e206c582dbf6ab.d: crates/bench/benches/partitioners.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpartitioners-50e206c582dbf6ab.rmeta: crates/bench/benches/partitioners.rs Cargo.toml
+
+crates/bench/benches/partitioners.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

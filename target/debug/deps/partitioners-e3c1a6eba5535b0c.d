@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/partitioners-e3c1a6eba5535b0c.d: crates/bench/benches/partitioners.rs
+
+/root/repo/target/debug/deps/libpartitioners-e3c1a6eba5535b0c.rmeta: crates/bench/benches/partitioners.rs
+
+crates/bench/benches/partitioners.rs:

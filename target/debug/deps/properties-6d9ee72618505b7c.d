@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-6d9ee72618505b7c.d: tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-6d9ee72618505b7c.rmeta: tests/properties.rs
+
+tests/properties.rs:

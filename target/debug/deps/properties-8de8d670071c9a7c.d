@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-8de8d670071c9a7c.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-8de8d670071c9a7c.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

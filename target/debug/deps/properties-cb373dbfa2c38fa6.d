@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-cb373dbfa2c38fa6.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-cb373dbfa2c38fa6: tests/properties.rs
+
+tests/properties.rs:

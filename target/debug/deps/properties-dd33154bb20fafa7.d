@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-dd33154bb20fafa7.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-dd33154bb20fafa7: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-0bcdde7fa431b565.d: third_party/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-0bcdde7fa431b565.rmeta: third_party/proptest/src/lib.rs
+
+third_party/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-0d01c2c6a67d3ab2.d: third_party/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-0d01c2c6a67d3ab2.rmeta: third_party/proptest/src/lib.rs Cargo.toml
+
+third_party/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

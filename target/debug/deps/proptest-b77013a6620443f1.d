@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-b77013a6620443f1.d: third_party/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-b77013a6620443f1.rmeta: third_party/proptest/src/lib.rs
+
+third_party/proptest/src/lib.rs:

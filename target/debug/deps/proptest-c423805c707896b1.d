@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-c423805c707896b1.d: third_party/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-c423805c707896b1: third_party/proptest/src/lib.rs
+
+third_party/proptest/src/lib.rs:

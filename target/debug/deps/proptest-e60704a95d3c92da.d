@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-e60704a95d3c92da.d: third_party/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-e60704a95d3c92da.rmeta: third_party/proptest/src/lib.rs Cargo.toml
+
+third_party/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-f4396b48f51d2588.d: third_party/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-f4396b48f51d2588.rlib: third_party/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-f4396b48f51d2588.rmeta: third_party/proptest/src/lib.rs
+
+third_party/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_graph-21598a6c981b2997.d: crates/graph/tests/proptest_graph.rs
+
+/root/repo/target/debug/deps/proptest_graph-21598a6c981b2997: crates/graph/tests/proptest_graph.rs
+
+crates/graph/tests/proptest_graph.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_graph-b0f6af75045b531a.d: crates/graph/tests/proptest_graph.rs
+
+/root/repo/target/debug/deps/libproptest_graph-b0f6af75045b531a.rmeta: crates/graph/tests/proptest_graph.rs
+
+crates/graph/tests/proptest_graph.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_graph-d23494b5c0fffef5.d: crates/graph/tests/proptest_graph.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_graph-d23494b5c0fffef5.rmeta: crates/graph/tests/proptest_graph.rs Cargo.toml
+
+crates/graph/tests/proptest_graph.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_refine-41507251a903a582.d: crates/partition/tests/proptest_refine.rs
+
+/root/repo/target/debug/deps/libproptest_refine-41507251a903a582.rmeta: crates/partition/tests/proptest_refine.rs
+
+crates/partition/tests/proptest_refine.rs:

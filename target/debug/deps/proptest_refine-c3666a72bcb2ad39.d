@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_refine-c3666a72bcb2ad39.d: crates/partition/tests/proptest_refine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_refine-c3666a72bcb2ad39.rmeta: crates/partition/tests/proptest_refine.rs Cargo.toml
+
+crates/partition/tests/proptest_refine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_refine-f1f47f317e8bb19c.d: crates/partition/tests/proptest_refine.rs
+
+/root/repo/target/debug/deps/proptest_refine-f1f47f317e8bb19c: crates/partition/tests/proptest_refine.rs
+
+crates/partition/tests/proptest_refine.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-2bf466a9fc82b061.d: third_party/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-2bf466a9fc82b061.rlib: third_party/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-2bf466a9fc82b061.rmeta: third_party/rand/src/lib.rs
+
+third_party/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-5076bc3d594ebfc9.d: third_party/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-5076bc3d594ebfc9: third_party/rand/src/lib.rs
+
+third_party/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-600f7025f4e6a377.d: third_party/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-600f7025f4e6a377.rmeta: third_party/rand/src/lib.rs
+
+third_party/rand/src/lib.rs:

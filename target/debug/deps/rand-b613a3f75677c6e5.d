@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-b613a3f75677c6e5.d: third_party/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-b613a3f75677c6e5.rmeta: third_party/rand/src/lib.rs Cargo.toml
+
+third_party/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-ce5a6fc58f20e1d7.d: third_party/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-ce5a6fc58f20e1d7.rmeta: third_party/rand/src/lib.rs
+
+third_party/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-dbb8ad8229c5f55e.d: third_party/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-dbb8ad8229c5f55e.rmeta: third_party/rand/src/lib.rs Cargo.toml
+
+third_party/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

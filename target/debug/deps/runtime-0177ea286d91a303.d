@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime-0177ea286d91a303.d: tests/runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime-0177ea286d91a303.rmeta: tests/runtime.rs Cargo.toml
+
+tests/runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime-4963ea5517076180.d: tests/runtime.rs
+
+/root/repo/target/debug/deps/runtime-4963ea5517076180: tests/runtime.rs
+
+tests/runtime.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime-5b2977b06267d832.d: tests/runtime.rs
+
+/root/repo/target/debug/deps/runtime-5b2977b06267d832: tests/runtime.rs
+
+tests/runtime.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime-89aec9de23349d17.d: tests/runtime.rs
+
+/root/repo/target/debug/deps/libruntime-89aec9de23349d17.rmeta: tests/runtime.rs
+
+tests/runtime.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime-b273e543b71f90d8.d: tests/runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime-b273e543b71f90d8.rmeta: tests/runtime.rs Cargo.toml
+
+tests/runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-1e9065f4bc7d3a7d.d: third_party/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-1e9065f4bc7d3a7d.rmeta: third_party/serde/src/lib.rs Cargo.toml
+
+third_party/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

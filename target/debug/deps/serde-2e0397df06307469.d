@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-2e0397df06307469.d: third_party/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-2e0397df06307469.rmeta: third_party/serde/src/lib.rs
+
+third_party/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-2fd060bc6ad31e06.d: third_party/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-2fd060bc6ad31e06.rmeta: third_party/serde/src/lib.rs
+
+third_party/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-a92c5ead11d7b3d9.d: third_party/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-a92c5ead11d7b3d9: third_party/serde/src/lib.rs
+
+third_party/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-b98f98d722d154b9.d: third_party/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-b98f98d722d154b9.rlib: third_party/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-b98f98d722d154b9.rmeta: third_party/serde/src/lib.rs
+
+third_party/serde/src/lib.rs:

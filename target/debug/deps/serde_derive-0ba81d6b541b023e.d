@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-0ba81d6b541b023e.d: third_party/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive-0ba81d6b541b023e: third_party/serde_derive/src/lib.rs
+
+third_party/serde_derive/src/lib.rs:

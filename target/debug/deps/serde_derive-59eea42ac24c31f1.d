@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-59eea42ac24c31f1.d: third_party/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-59eea42ac24c31f1.rmeta: third_party/serde_derive/src/lib.rs
+
+third_party/serde_derive/src/lib.rs:

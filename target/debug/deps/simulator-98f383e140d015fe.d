@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulator-98f383e140d015fe.d: crates/bench/benches/simulator.rs
+
+/root/repo/target/debug/deps/libsimulator-98f383e140d015fe.rmeta: crates/bench/benches/simulator.rs
+
+crates/bench/benches/simulator.rs:

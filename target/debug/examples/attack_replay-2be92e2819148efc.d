@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/attack_replay-2be92e2819148efc.d: examples/attack_replay.rs
+
+/root/repo/target/debug/examples/attack_replay-2be92e2819148efc: examples/attack_replay.rs
+
+examples/attack_replay.rs:

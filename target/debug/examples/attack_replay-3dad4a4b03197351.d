@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/attack_replay-3dad4a4b03197351.d: examples/attack_replay.rs Cargo.toml
+
+/root/repo/target/debug/examples/libattack_replay-3dad4a4b03197351.rmeta: examples/attack_replay.rs Cargo.toml
+
+examples/attack_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/attack_replay-84a1dd9c40c13fc4.d: examples/attack_replay.rs Cargo.toml
+
+/root/repo/target/debug/examples/libattack_replay-84a1dd9c40c13fc4.rmeta: examples/attack_replay.rs Cargo.toml
+
+examples/attack_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/attack_replay-a559eb6ab57f19b8.d: examples/attack_replay.rs
+
+/root/repo/target/debug/examples/attack_replay-a559eb6ab57f19b8: examples/attack_replay.rs
+
+examples/attack_replay.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cost_model-07878d49bf5650b0.d: examples/cost_model.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcost_model-07878d49bf5650b0.rmeta: examples/cost_model.rs Cargo.toml
+
+examples/cost_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

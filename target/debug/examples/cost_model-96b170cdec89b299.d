@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cost_model-96b170cdec89b299.d: examples/cost_model.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcost_model-96b170cdec89b299.rmeta: examples/cost_model.rs Cargo.toml
+
+examples/cost_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cost_model-aceb9d7c229677cf.d: examples/cost_model.rs
+
+/root/repo/target/debug/examples/cost_model-aceb9d7c229677cf: examples/cost_model.rs
+
+examples/cost_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cost_model-df733a9da9c314e8.d: examples/cost_model.rs
+
+/root/repo/target/debug/examples/cost_model-df733a9da9c314e8: examples/cost_model.rs
+
+examples/cost_model.rs:

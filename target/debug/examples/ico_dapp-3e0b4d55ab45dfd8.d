@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ico_dapp-3e0b4d55ab45dfd8.d: examples/ico_dapp.rs Cargo.toml
+
+/root/repo/target/debug/examples/libico_dapp-3e0b4d55ab45dfd8.rmeta: examples/ico_dapp.rs Cargo.toml
+
+examples/ico_dapp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

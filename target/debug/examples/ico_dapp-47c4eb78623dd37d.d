@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ico_dapp-47c4eb78623dd37d.d: examples/ico_dapp.rs
+
+/root/repo/target/debug/examples/ico_dapp-47c4eb78623dd37d: examples/ico_dapp.rs
+
+examples/ico_dapp.rs:

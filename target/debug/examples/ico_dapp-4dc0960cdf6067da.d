@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ico_dapp-4dc0960cdf6067da.d: examples/ico_dapp.rs
+
+/root/repo/target/debug/examples/ico_dapp-4dc0960cdf6067da: examples/ico_dapp.rs
+
+examples/ico_dapp.rs:

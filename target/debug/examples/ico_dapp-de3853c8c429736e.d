@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ico_dapp-de3853c8c429736e.d: examples/ico_dapp.rs Cargo.toml
+
+/root/repo/target/debug/examples/libico_dapp-de3853c8c429736e.rmeta: examples/ico_dapp.rs Cargo.toml
+
+examples/ico_dapp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

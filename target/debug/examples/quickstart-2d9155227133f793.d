@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-2d9155227133f793.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-2d9155227133f793: examples/quickstart.rs
+
+examples/quickstart.rs:

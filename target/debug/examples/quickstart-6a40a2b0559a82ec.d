@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6a40a2b0559a82ec.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6a40a2b0559a82ec: examples/quickstart.rs
+
+examples/quickstart.rs:

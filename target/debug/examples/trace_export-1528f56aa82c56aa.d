@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trace_export-1528f56aa82c56aa.d: examples/trace_export.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrace_export-1528f56aa82c56aa.rmeta: examples/trace_export.rs Cargo.toml
+
+examples/trace_export.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trace_export-1d598714119937bf.d: examples/trace_export.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrace_export-1d598714119937bf.rmeta: examples/trace_export.rs Cargo.toml
+
+examples/trace_export.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

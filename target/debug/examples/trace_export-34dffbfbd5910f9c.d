@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_export-34dffbfbd5910f9c.d: examples/trace_export.rs
+
+/root/repo/target/debug/examples/trace_export-34dffbfbd5910f9c: examples/trace_export.rs
+
+examples/trace_export.rs:

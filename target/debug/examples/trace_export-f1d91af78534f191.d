@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_export-f1d91af78534f191.d: examples/trace_export.rs
+
+/root/repo/target/debug/examples/trace_export-f1d91af78534f191: examples/trace_export.rs
+
+examples/trace_export.rs:

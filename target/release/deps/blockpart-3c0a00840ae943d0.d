@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/blockpart-3c0a00840ae943d0.d: src/bin/blockpart.rs
+
+/root/repo/target/release/deps/blockpart-3c0a00840ae943d0: src/bin/blockpart.rs
+
+src/bin/blockpart.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/blockpart-5608f6d9d4a61781.d: src/lib.rs
+
+/root/repo/target/release/deps/libblockpart-5608f6d9d4a61781.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libblockpart-5608f6d9d4a61781.rmeta: src/lib.rs
+
+src/lib.rs:

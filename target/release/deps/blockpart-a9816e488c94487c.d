@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/blockpart-a9816e488c94487c.d: src/bin/blockpart.rs
+
+/root/repo/target/release/deps/blockpart-a9816e488c94487c: src/bin/blockpart.rs
+
+src/bin/blockpart.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/blockpart-b490e45c914716b8.d: src/lib.rs
+
+/root/repo/target/release/deps/libblockpart-b490e45c914716b8.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libblockpart-b490e45c914716b8.rmeta: src/lib.rs
+
+src/lib.rs:

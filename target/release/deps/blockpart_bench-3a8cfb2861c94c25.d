@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/blockpart_bench-3a8cfb2861c94c25.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libblockpart_bench-3a8cfb2861c94c25.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libblockpart_bench-3a8cfb2861c94c25.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/blockpart_core-1dcb72fc99d172b6.d: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/experiments.rs crates/core/src/methods.rs crates/core/src/runtime_study.rs crates/core/src/study.rs
+
+/root/repo/target/release/deps/libblockpart_core-1dcb72fc99d172b6.rlib: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/experiments.rs crates/core/src/methods.rs crates/core/src/runtime_study.rs crates/core/src/study.rs
+
+/root/repo/target/release/deps/libblockpart_core-1dcb72fc99d172b6.rmeta: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/experiments.rs crates/core/src/methods.rs crates/core/src/runtime_study.rs crates/core/src/study.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ablation.rs:
+crates/core/src/experiments.rs:
+crates/core/src/methods.rs:
+crates/core/src/runtime_study.rs:
+crates/core/src/study.rs:

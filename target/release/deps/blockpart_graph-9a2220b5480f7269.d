@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/blockpart_graph-9a2220b5480f7269.d: crates/graph/src/lib.rs crates/graph/src/algos.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/event.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/node.rs
+
+/root/repo/target/release/deps/libblockpart_graph-9a2220b5480f7269.rlib: crates/graph/src/lib.rs crates/graph/src/algos.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/event.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/node.rs
+
+/root/repo/target/release/deps/libblockpart_graph-9a2220b5480f7269.rmeta: crates/graph/src/lib.rs crates/graph/src/algos.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/event.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/node.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/algos.rs:
+crates/graph/src/builder.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/event.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/io.rs:
+crates/graph/src/node.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/blockpart_metrics-de64deef9c5d1841.d: crates/metrics/src/lib.rs crates/metrics/src/calendar.rs crates/metrics/src/concentration.rs crates/metrics/src/histogram.rs crates/metrics/src/report.rs crates/metrics/src/series.rs crates/metrics/src/summary.rs
+
+/root/repo/target/release/deps/libblockpart_metrics-de64deef9c5d1841.rlib: crates/metrics/src/lib.rs crates/metrics/src/calendar.rs crates/metrics/src/concentration.rs crates/metrics/src/histogram.rs crates/metrics/src/report.rs crates/metrics/src/series.rs crates/metrics/src/summary.rs
+
+/root/repo/target/release/deps/libblockpart_metrics-de64deef9c5d1841.rmeta: crates/metrics/src/lib.rs crates/metrics/src/calendar.rs crates/metrics/src/concentration.rs crates/metrics/src/histogram.rs crates/metrics/src/report.rs crates/metrics/src/series.rs crates/metrics/src/summary.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/calendar.rs:
+crates/metrics/src/concentration.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/report.rs:
+crates/metrics/src/series.rs:
+crates/metrics/src/summary.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/blockpart_partition-23e690f37dadddc7.d: crates/partition/src/lib.rs crates/partition/src/hashing.rs crates/partition/src/kl/mod.rs crates/partition/src/kl/classic.rs crates/partition/src/kl/distributed.rs crates/partition/src/metrics.rs crates/partition/src/multilevel/mod.rs crates/partition/src/multilevel/coarsen.rs crates/partition/src/multilevel/initial.rs crates/partition/src/multilevel/matching.rs crates/partition/src/multilevel/refine.rs crates/partition/src/partition.rs crates/partition/src/streaming.rs crates/partition/src/traits.rs
+
+/root/repo/target/release/deps/libblockpart_partition-23e690f37dadddc7.rlib: crates/partition/src/lib.rs crates/partition/src/hashing.rs crates/partition/src/kl/mod.rs crates/partition/src/kl/classic.rs crates/partition/src/kl/distributed.rs crates/partition/src/metrics.rs crates/partition/src/multilevel/mod.rs crates/partition/src/multilevel/coarsen.rs crates/partition/src/multilevel/initial.rs crates/partition/src/multilevel/matching.rs crates/partition/src/multilevel/refine.rs crates/partition/src/partition.rs crates/partition/src/streaming.rs crates/partition/src/traits.rs
+
+/root/repo/target/release/deps/libblockpart_partition-23e690f37dadddc7.rmeta: crates/partition/src/lib.rs crates/partition/src/hashing.rs crates/partition/src/kl/mod.rs crates/partition/src/kl/classic.rs crates/partition/src/kl/distributed.rs crates/partition/src/metrics.rs crates/partition/src/multilevel/mod.rs crates/partition/src/multilevel/coarsen.rs crates/partition/src/multilevel/initial.rs crates/partition/src/multilevel/matching.rs crates/partition/src/multilevel/refine.rs crates/partition/src/partition.rs crates/partition/src/streaming.rs crates/partition/src/traits.rs
+
+crates/partition/src/lib.rs:
+crates/partition/src/hashing.rs:
+crates/partition/src/kl/mod.rs:
+crates/partition/src/kl/classic.rs:
+crates/partition/src/kl/distributed.rs:
+crates/partition/src/metrics.rs:
+crates/partition/src/multilevel/mod.rs:
+crates/partition/src/multilevel/coarsen.rs:
+crates/partition/src/multilevel/initial.rs:
+crates/partition/src/multilevel/matching.rs:
+crates/partition/src/multilevel/refine.rs:
+crates/partition/src/partition.rs:
+crates/partition/src/streaming.rs:
+crates/partition/src/traits.rs:

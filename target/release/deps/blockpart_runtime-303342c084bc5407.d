@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/blockpart_runtime-303342c084bc5407.d: crates/runtime/src/lib.rs crates/runtime/src/clock.rs crates/runtime/src/coordinator.rs crates/runtime/src/event.rs crates/runtime/src/locks.rs crates/runtime/src/net.rs crates/runtime/src/report.rs crates/runtime/src/shard_worker.rs
+
+/root/repo/target/release/deps/libblockpart_runtime-303342c084bc5407.rlib: crates/runtime/src/lib.rs crates/runtime/src/clock.rs crates/runtime/src/coordinator.rs crates/runtime/src/event.rs crates/runtime/src/locks.rs crates/runtime/src/net.rs crates/runtime/src/report.rs crates/runtime/src/shard_worker.rs
+
+/root/repo/target/release/deps/libblockpart_runtime-303342c084bc5407.rmeta: crates/runtime/src/lib.rs crates/runtime/src/clock.rs crates/runtime/src/coordinator.rs crates/runtime/src/event.rs crates/runtime/src/locks.rs crates/runtime/src/net.rs crates/runtime/src/report.rs crates/runtime/src/shard_worker.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/clock.rs:
+crates/runtime/src/coordinator.rs:
+crates/runtime/src/event.rs:
+crates/runtime/src/locks.rs:
+crates/runtime/src/net.rs:
+crates/runtime/src/report.rs:
+crates/runtime/src/shard_worker.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/blockpart_shard-80b48431dd502545.d: crates/shard/src/lib.rs crates/shard/src/cost.rs crates/shard/src/placement.rs crates/shard/src/policy.rs crates/shard/src/simulator.rs crates/shard/src/state.rs
+
+/root/repo/target/release/deps/libblockpart_shard-80b48431dd502545.rlib: crates/shard/src/lib.rs crates/shard/src/cost.rs crates/shard/src/placement.rs crates/shard/src/policy.rs crates/shard/src/simulator.rs crates/shard/src/state.rs
+
+/root/repo/target/release/deps/libblockpart_shard-80b48431dd502545.rmeta: crates/shard/src/lib.rs crates/shard/src/cost.rs crates/shard/src/placement.rs crates/shard/src/policy.rs crates/shard/src/simulator.rs crates/shard/src/state.rs
+
+crates/shard/src/lib.rs:
+crates/shard/src/cost.rs:
+crates/shard/src/placement.rs:
+crates/shard/src/policy.rs:
+crates/shard/src/simulator.rs:
+crates/shard/src/state.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/blockpart_types-2365f9cdd73b29d4.d: crates/types/src/lib.rs crates/types/src/address.rs crates/types/src/quantity.rs crates/types/src/shard.rs crates/types/src/time.rs
+
+/root/repo/target/release/deps/libblockpart_types-2365f9cdd73b29d4.rlib: crates/types/src/lib.rs crates/types/src/address.rs crates/types/src/quantity.rs crates/types/src/shard.rs crates/types/src/time.rs
+
+/root/repo/target/release/deps/libblockpart_types-2365f9cdd73b29d4.rmeta: crates/types/src/lib.rs crates/types/src/address.rs crates/types/src/quantity.rs crates/types/src/shard.rs crates/types/src/time.rs
+
+crates/types/src/lib.rs:
+crates/types/src/address.rs:
+crates/types/src/quantity.rs:
+crates/types/src/shard.rs:
+crates/types/src/time.rs:

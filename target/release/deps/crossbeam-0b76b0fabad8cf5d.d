@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-0b76b0fabad8cf5d.d: third_party/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-0b76b0fabad8cf5d.rlib: third_party/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-0b76b0fabad8cf5d.rmeta: third_party/crossbeam/src/lib.rs
+
+third_party/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-1be8bb4083731644.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-1be8bb4083731644: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-f294f76e417bed8f.d: third_party/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-f294f76e417bed8f.rlib: third_party/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-f294f76e417bed8f.rmeta: third_party/rand/src/lib.rs
+
+third_party/rand/src/lib.rs:

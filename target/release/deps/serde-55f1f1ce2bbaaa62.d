@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-55f1f1ce2bbaaa62.d: third_party/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-55f1f1ce2bbaaa62.rlib: third_party/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-55f1f1ce2bbaaa62.rmeta: third_party/serde/src/lib.rs
+
+third_party/serde/src/lib.rs:
