@@ -1,0 +1,760 @@
+//! The unified experiment pipeline: workload → windowing → strategies ×
+//! shard counts → offline simulation and/or 2PC runtime replay.
+//!
+//! [`Experiment`] collapses the two historical one-shot drivers
+//! ([`Study`](crate::Study) and [`RuntimeStudy`](crate::RuntimeStudy),
+//! both now thin shims over this type) into one builder:
+//!
+//! 1. **Workload source** — a pre-built [`SyntheticChain`], a bare
+//!    [`InteractionLog`], or a [`GeneratorConfig`] the pipeline
+//!    synthesizes at run time;
+//! 2. **Strategies** — any [`StrategySpec`]s, usually resolved through a
+//!    [`StrategyRegistry`](crate::StrategyRegistry);
+//! 3. **Stages** — the offline partitioning simulation (edge-cut /
+//!    balance / moves per 4-hour window) and, when a chain is available,
+//!    the 2PC runtime replay of the chain on each strategy's final
+//!    assignment. One simulator pass feeds both stages.
+//!
+//! The output is an [`ExperimentReport`] nesting the per-run
+//! [`SimulationResult`] and [`RuntimeReport`] data; it renders as ASCII
+//! tables or serializes to JSON for benches and CI diffing.
+//!
+//! # Examples
+//!
+//! ```
+//! use blockpart_core::{Experiment, StrategyRegistry};
+//! use blockpart_ethereum::gen::{ChainGenerator, GeneratorConfig};
+//! use blockpart_types::ShardCount;
+//!
+//! let registry = StrategyRegistry::with_builtins();
+//! let chain = ChainGenerator::new(GeneratorConfig::test_scale(5)).generate();
+//! let report = Experiment::over_chain(&chain)
+//!     .named_strategies(&registry, "hash,metis")
+//!     .unwrap()
+//!     .shard_counts(vec![ShardCount::TWO])
+//!     .run();
+//! let hash = report.offline("hash", ShardCount::TWO).unwrap();
+//! assert_eq!(hash.total_moves, 0);
+//! assert!(report.to_json().starts_with('{'));
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+
+use blockpart_ethereum::gen::{ChainGenerator, GeneratorConfig};
+use blockpart_ethereum::SyntheticChain;
+use blockpart_graph::InteractionLog;
+use blockpart_metrics::{Json, Table};
+use blockpart_runtime::{Assignment, RuntimeReport, ShardedRuntime};
+use blockpart_shard::{ShardSimulator, SimulationResult};
+use blockpart_types::{Duration, ShardCount};
+
+use crate::strategy::{spec_lookup_key, StrategyError, StrategyRegistry, StrategySpec};
+
+/// A configured strategy and, when it was resolved from a spec string,
+/// the requested spelling (kept for report lookups).
+type ConfiguredStrategy = (Arc<dyn StrategySpec>, Option<String>);
+
+/// The paper's five canonical strategies — the default when an
+/// [`Experiment`] is run without configuring strategies.
+fn default_strategies() -> Vec<ConfiguredStrategy> {
+    StrategyRegistry::with_builtins()
+        .canonical()
+        .expect("built-in strategies resolve")
+        .into_iter()
+        .map(|s| (s, None))
+        .collect()
+}
+
+/// Where an experiment's interactions (and, for replay, transactions)
+/// come from.
+enum WorkloadSource<'a> {
+    /// A bare interaction log: offline simulation only.
+    Log(&'a InteractionLog),
+    /// A pre-built chain: offline simulation and runtime replay.
+    Chain(&'a SyntheticChain),
+    /// A generator configuration, synthesized when the experiment runs.
+    Generator(GeneratorConfig),
+}
+
+/// One completed pipeline run: a strategy at a shard count.
+#[derive(Clone, Debug)]
+pub struct ExperimentRun {
+    /// The strategy's display name ([`StrategySpec::name`]).
+    pub strategy: String,
+    /// The spec string this run was configured from, when it was
+    /// resolved by name (e.g. the alias `p-metis` whose display name is
+    /// `R-METIS`). Report lookups match it as well as the display name.
+    pub requested: Option<String>,
+    /// The shard count.
+    pub k: ShardCount,
+    /// Offline per-window metrics (present unless offline was disabled).
+    pub offline: Option<SimulationResult>,
+    /// 2PC replay measurements (present when replay was enabled).
+    pub runtime: Option<RuntimeReport>,
+}
+
+/// Results of an [`Experiment`], indexable by strategy name and shard
+/// count. Name lookup uses the registry's normalization (case- and
+/// `-`/`_`-insensitive).
+#[derive(Clone, Debug, Default)]
+pub struct ExperimentReport {
+    /// The seed the experiment ran with.
+    pub seed: u64,
+    /// The measurement window.
+    pub window: Duration,
+    /// All runs, strategy-major in configuration order.
+    pub runs: Vec<ExperimentRun>,
+}
+
+impl ExperimentReport {
+    fn run_of(&self, strategy: &str, k: ShardCount) -> Option<&ExperimentRun> {
+        let key = spec_lookup_key(strategy);
+        self.runs.iter().find(|r| {
+            r.k == k
+                && (spec_lookup_key(&r.strategy) == key
+                    || r.requested.as_deref().map(spec_lookup_key) == Some(key.clone()))
+        })
+    }
+
+    /// The offline simulation result for `strategy` at `k`, if present.
+    pub fn offline(&self, strategy: &str, k: ShardCount) -> Option<&SimulationResult> {
+        self.run_of(strategy, k).and_then(|r| r.offline.as_ref())
+    }
+
+    /// The runtime replay report for `strategy` at `k`, if present.
+    pub fn runtime(&self, strategy: &str, k: ShardCount) -> Option<&RuntimeReport> {
+        self.run_of(strategy, k).and_then(|r| r.runtime.as_ref())
+    }
+
+    /// Renders the offline stage as the per-strategy aggregate table
+    /// (the Fig. 5 columns: mean dynamic edge-cut, normalized balance,
+    /// moves, repartitions).
+    pub fn offline_table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "strategy",
+            "k",
+            "dyn-edge-cut",
+            "norm-dyn-balance",
+            "moves",
+            "reparts",
+        ]);
+        for r in &self.runs {
+            let Some(sim) = &r.offline else { continue };
+            let (cut, bal) = mean_window_metrics(sim);
+            let normalized = normalized_balance(bal, r.k.as_usize());
+            t.row(vec![
+                r.strategy.clone(),
+                r.k.get().to_string(),
+                format!("{cut:.3}"),
+                format!("{normalized:.3}"),
+                sim.total_moves.to_string(),
+                sim.repartitions.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// Renders the replay stage as the runtime comparison table.
+    pub fn runtime_table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "strategy",
+            "k",
+            "committed",
+            "failed",
+            "cross-%",
+            "abort-%",
+            "p50-ms",
+            "p99-ms",
+            "tx/s",
+        ]);
+        for r in &self.runs {
+            let Some(rep) = &r.runtime else { continue };
+            t.row(vec![
+                r.strategy.clone(),
+                r.k.get().to_string(),
+                rep.committed.to_string(),
+                rep.failed.to_string(),
+                format!("{:.1}", rep.cross_shard_ratio * 100.0),
+                format!("{:.1}", rep.abort_rate * 100.0),
+                format!("{:.2}", rep.p50_commit_latency_us as f64 / 1e3),
+                format!("{:.2}", rep.p99_commit_latency_us as f64 / 1e3),
+                format!("{:.0}", rep.throughput_tps),
+            ]);
+        }
+        t
+    }
+
+    /// Serializes the report as compact JSON.
+    pub fn to_json(&self) -> String {
+        self.json_value().render()
+    }
+
+    /// Serializes the report as indented JSON (diff-friendly).
+    pub fn to_json_pretty(&self) -> String {
+        self.json_value().render_pretty()
+    }
+
+    fn json_value(&self) -> Json {
+        Json::obj([
+            ("schema", Json::from("blockpart.experiment/1")),
+            ("seed", Json::from(self.seed)),
+            (
+                "window_hours",
+                Json::from(self.window.as_secs() as f64 / 3_600.0),
+            ),
+            (
+                "runs",
+                Json::arr(self.runs.iter().map(|r| {
+                    let mut pairs = vec![
+                        ("strategy".to_string(), Json::from(r.strategy.as_str())),
+                        ("k".to_string(), Json::from(r.k.get())),
+                    ];
+                    if let Some(sim) = &r.offline {
+                        pairs.push(("offline".to_string(), offline_json(sim)));
+                    }
+                    if let Some(rep) = &r.runtime {
+                        pairs.push(("runtime".to_string(), runtime_json(rep)));
+                    }
+                    Json::Obj(pairs)
+                })),
+            ),
+        ])
+    }
+}
+
+/// Mean per-window dynamic edge-cut and balance over active windows —
+/// the aggregation behind both this report's offline table and the
+/// Fig. 5 rows in [`crate::experiments`].
+pub(crate) fn mean_window_metrics(sim: &SimulationResult) -> (f64, f64) {
+    let active: Vec<_> = sim.windows.iter().filter(|w| w.events > 0).collect();
+    let n = active.len().max(1) as f64;
+    (
+        active.iter().map(|w| w.dynamic_edge_cut).sum::<f64>() / n,
+        active.iter().map(|w| w.dynamic_balance).sum::<f64>() / n,
+    )
+}
+
+/// Normalizes a mean dynamic balance as `(b − 1)/(k − 1)` so different
+/// shard counts are comparable (the paper's Fig. 5 y-axis).
+pub(crate) fn normalized_balance(mean_balance: f64, k: usize) -> f64 {
+    if k <= 1 {
+        0.0
+    } else {
+        ((mean_balance - 1.0) / (k as f64 - 1.0)).max(0.0)
+    }
+}
+
+fn offline_json(sim: &SimulationResult) -> Json {
+    let (cut, bal) = mean_window_metrics(sim);
+    let mut pairs = vec![
+        ("windows".to_string(), Json::from(sim.windows.len())),
+        ("total_moves".to_string(), Json::from(sim.total_moves)),
+        (
+            "total_relocated_units".to_string(),
+            Json::from(sim.total_relocated_units),
+        ),
+        ("repartitions".to_string(), Json::from(sim.repartitions)),
+        ("vertex_count".to_string(), Json::from(sim.vertex_count)),
+        ("edge_count".to_string(), Json::from(sim.edge_count)),
+        ("mean_dynamic_edge_cut".to_string(), Json::from(cut)),
+        ("mean_dynamic_balance".to_string(), Json::from(bal)),
+    ];
+    if let Some(last) = sim.windows.last() {
+        pairs.push((
+            "final_static_edge_cut".to_string(),
+            Json::from(last.static_edge_cut),
+        ));
+        pairs.push((
+            "final_static_balance".to_string(),
+            Json::from(last.static_balance),
+        ));
+        pairs.push((
+            "cumulative_dynamic_edge_cut".to_string(),
+            Json::from(last.cumulative_dynamic_edge_cut),
+        ));
+    }
+    Json::Obj(pairs)
+}
+
+fn runtime_json(rep: &RuntimeReport) -> Json {
+    Json::obj([
+        ("k", Json::from(rep.k.get())),
+        ("total_txs", Json::from(rep.total_txs)),
+        ("committed", Json::from(rep.committed)),
+        ("failed", Json::from(rep.failed)),
+        ("cross_shard_txs", Json::from(rep.cross_shard_txs)),
+        ("cross_shard_ratio", Json::from(rep.cross_shard_ratio)),
+        ("prepare_rounds", Json::from(rep.prepare_rounds)),
+        ("aborted_rounds", Json::from(rep.aborted_rounds)),
+        ("abort_rate", Json::from(rep.abort_rate)),
+        ("local_conflicts", Json::from(rep.local_conflicts)),
+        ("stray_touches", Json::from(rep.stray_touches)),
+        (
+            "p50_commit_latency_us",
+            Json::from(rep.p50_commit_latency_us),
+        ),
+        (
+            "p99_commit_latency_us",
+            Json::from(rep.p99_commit_latency_us),
+        ),
+        ("makespan_us", Json::from(rep.makespan_us)),
+        ("throughput_tps", Json::from(rep.throughput_tps)),
+        (
+            "per_shard",
+            Json::arr(rep.per_shard.iter().map(|s| {
+                Json::obj([
+                    ("shard", Json::from(s.shard.as_u16())),
+                    ("committed", Json::from(s.committed)),
+                    ("cross_committed", Json::from(s.cross_committed)),
+                    ("busy_us", Json::from(s.busy_us)),
+                    ("utilization", Json::from(s.utilization)),
+                ])
+            })),
+        ),
+    ])
+}
+
+/// Configures and runs the unified pipeline: workload source → graph
+/// windowing → strategies × shard counts → offline simulation and/or
+/// 2PC runtime replay.
+///
+/// Strategy × shard-count pairs execute in parallel (a worker pool
+/// bounded by the machine's available parallelism) and are individually
+/// deterministic: the same workload, strategies, shard counts and seed
+/// always produce the same report regardless of thread scheduling.
+pub struct Experiment<'a> {
+    workload: WorkloadSource<'a>,
+    /// `None` until configured: [`run`](Experiment::run) defaults to the
+    /// five canonical paper strategies (resolved lazily so the common
+    /// explicitly-configured path never builds an unused registry).
+    /// Each spec may carry the spec string it was resolved from.
+    strategies: Option<Vec<ConfiguredStrategy>>,
+    shard_counts: Vec<ShardCount>,
+    window: Duration,
+    seed: u64,
+    offline: bool,
+    replay: bool,
+    net_latency_us: Option<u64>,
+    inter_arrival_us: Option<u64>,
+}
+
+impl std::fmt::Debug for Experiment<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Experiment")
+            .field(
+                "strategies",
+                &self
+                    .strategies
+                    .iter()
+                    .flatten()
+                    .map(|(s, _)| s.name())
+                    .collect::<Vec<_>>(),
+            )
+            .field("shard_counts", &self.shard_counts)
+            .field("offline", &self.offline)
+            .field("replay", &self.replay)
+            .finish()
+    }
+}
+
+impl<'a> Experiment<'a> {
+    fn with_workload(workload: WorkloadSource<'a>, replay: bool) -> Self {
+        Experiment {
+            workload,
+            strategies: None,
+            shard_counts: [2u16, 4, 8]
+                .iter()
+                .map(|&k| ShardCount::new(k).expect("non-zero"))
+                .collect(),
+            window: Duration::hours(4),
+            seed: 0x45_58_50, // "EXP"
+            offline: true,
+            replay,
+            net_latency_us: None,
+            inter_arrival_us: None,
+        }
+    }
+
+    /// An experiment over a bare interaction log (offline stage only —
+    /// there are no transactions to replay). Defaults: the five paper
+    /// strategies, k ∈ {2, 4, 8}, 4-hour windows.
+    pub fn over_log(log: &'a InteractionLog) -> Self {
+        Experiment::with_workload(WorkloadSource::Log(log), false)
+    }
+
+    /// An experiment over a pre-built synthetic chain. Same defaults as
+    /// [`over_log`](Self::over_log); enable the 2PC stage with
+    /// [`replay`](Self::replay).
+    pub fn over_chain(chain: &'a SyntheticChain) -> Self {
+        Experiment::with_workload(WorkloadSource::Chain(chain), false)
+    }
+
+    /// An experiment that synthesizes its chain from `config` when run.
+    pub fn from_generator(config: GeneratorConfig) -> Self {
+        Experiment::with_workload(WorkloadSource::Generator(config), false)
+    }
+
+    /// Replaces the strategy list.
+    pub fn strategies(mut self, strategies: Vec<Arc<dyn StrategySpec>>) -> Self {
+        self.strategies = Some(strategies.into_iter().map(|s| (s, None)).collect());
+        self
+    }
+
+    /// Adds one strategy (to the canonical five when none were
+    /// configured yet).
+    pub fn strategy(mut self, strategy: Arc<dyn StrategySpec>) -> Self {
+        self.strategies
+            .get_or_insert_with(default_strategies)
+            .push((strategy, None));
+        self
+    }
+
+    /// Replaces the strategy list by resolving a comma-separated spec
+    /// string (e.g. `"hash,r-metis[window=7]"` or `"all"`) against
+    /// `registry`. Each run remembers its spec string, so report
+    /// lookups accept the requested spelling (aliases included) as well
+    /// as the display name.
+    pub fn named_strategies(
+        mut self,
+        registry: &StrategyRegistry,
+        specs: &str,
+    ) -> Result<Self, StrategyError> {
+        self.strategies = Some(
+            registry
+                .resolve_list_with_sources(specs)?
+                .into_iter()
+                .map(|(spec, source)| (spec, Some(source)))
+                .collect(),
+        );
+        Ok(self)
+    }
+
+    /// Replaces the shard counts.
+    pub fn shard_counts(mut self, shard_counts: Vec<ShardCount>) -> Self {
+        self.shard_counts = shard_counts;
+        self
+    }
+
+    /// Overrides the measurement window.
+    pub fn window(mut self, window: Duration) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Overrides the seed fed to partitioners and the replay runtime.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables or disables the offline metrics stage (on by default).
+    /// The partitioning simulation itself always runs — replay needs its
+    /// final assignment — but with `offline(false)` the report omits the
+    /// per-window data.
+    pub fn offline(mut self, offline: bool) -> Self {
+        self.offline = offline;
+        self
+    }
+
+    /// Enables the 2PC runtime replay stage (off by default).
+    ///
+    /// Requires a chain workload; [`run`](Self::run) panics on a
+    /// log-only experiment with replay enabled.
+    pub fn replay(mut self, replay: bool) -> Self {
+        self.replay = replay;
+        self
+    }
+
+    /// Overrides the replay's one-way inter-shard network latency (µs)
+    /// for every strategy, on top of [`StrategySpec::runtime_config`].
+    pub fn net_latency_us(mut self, latency: u64) -> Self {
+        self.net_latency_us = Some(latency);
+        self
+    }
+
+    /// Overrides the replay's offered-load arrival gap (µs) for every
+    /// strategy.
+    pub fn inter_arrival_us(mut self, gap: u64) -> Self {
+        self.inter_arrival_us = Some(gap);
+        self
+    }
+
+    /// Runs every strategy × shard-count pair and collects the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if replay is enabled on a log-only workload, or if the
+    /// configured strategy or shard-count list is empty (a misconfigured
+    /// caller should not silently run nothing).
+    pub fn run(self) -> ExperimentReport {
+        let generated;
+        let (log, chain): (&InteractionLog, Option<&SyntheticChain>) = match &self.workload {
+            WorkloadSource::Log(log) => (log, None),
+            WorkloadSource::Chain(chain) => (&chain.log, Some(chain)),
+            WorkloadSource::Generator(config) => {
+                generated = ChainGenerator::new(config.clone()).generate();
+                (&generated.log, Some(&generated))
+            }
+        };
+        assert!(
+            !self.replay || chain.is_some(),
+            "runtime replay requires a chain workload (use Experiment::over_chain or \
+             Experiment::from_generator)"
+        );
+
+        let strategies = match &self.strategies {
+            Some(s) => s.clone(),
+            None => default_strategies(),
+        };
+        assert!(
+            !strategies.is_empty(),
+            "experiment configured with an empty strategy list"
+        );
+        assert!(
+            !self.shard_counts.is_empty(),
+            "experiment configured with an empty shard-count list"
+        );
+        let mut pairs: Vec<(&Arc<dyn StrategySpec>, &Option<String>, ShardCount)> = Vec::new();
+        for (spec, requested) in &strategies {
+            for &k in &self.shard_counts {
+                pairs.push((spec, requested, k));
+            }
+        }
+
+        // bounded worker pool: a replay pair holds a full per-shard copy
+        // of the world state, so one-thread-per-pair would multiply peak
+        // memory by the pair count on large grids
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(pairs.len().max(1));
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, ExperimentRun)>();
+        let this = &self;
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let (next, pairs) = (&next, &pairs);
+                scope.spawn(move |_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(spec, requested, k)) = pairs.get(i) else {
+                        break;
+                    };
+                    let mut run = this.run_pair(spec.as_ref(), k, log, chain);
+                    run.requested = requested.clone();
+                    tx.send((i, run)).expect("collector outlives workers");
+                });
+            }
+        })
+        .expect("experiment worker panicked");
+        drop(tx);
+
+        let mut slots: Vec<Option<ExperimentRun>> = Vec::new();
+        slots.resize_with(pairs.len(), || None);
+        for (i, run) in rx {
+            slots[i] = Some(run);
+        }
+        ExperimentReport {
+            seed: self.seed,
+            window: self.window,
+            runs: slots
+                .into_iter()
+                .map(|r| r.expect("run completed"))
+                .collect(),
+        }
+    }
+
+    /// One strategy at one shard count: simulate, then optionally replay
+    /// the chain on the simulation's final assignment.
+    fn run_pair(
+        &self,
+        spec: &dyn StrategySpec,
+        k: ShardCount,
+        log: &InteractionLog,
+        chain: Option<&SyntheticChain>,
+    ) -> ExperimentRun {
+        let config = spec.simulator_config(k).with_window(self.window);
+        let mut sim = ShardSimulator::new(config, spec.build_partitioner(self.seed));
+        let result = sim.run(log);
+        let runtime = if self.replay {
+            let chain = chain.expect("checked in run()");
+            let assignment = Assignment::from_map(sim.into_state().assignment_map(), k);
+            let mut cfg = spec.runtime_config(k).with_seed(self.seed);
+            cfg.k = k; // the pipeline owns the shard count
+            if let Some(latency) = self.net_latency_us {
+                cfg = cfg.with_net_latency_us(latency);
+            }
+            if let Some(gap) = self.inter_arrival_us {
+                cfg = cfg.with_inter_arrival_us(gap);
+            }
+            Some(ShardedRuntime::new(cfg, assignment).run(chain.chain.world(), &chain.txs))
+        } else {
+            None
+        };
+        ExperimentRun {
+            strategy: spec.name().to_string(),
+            requested: None, // filled in by run() from the pair table
+            k,
+            offline: self.offline.then_some(result),
+            runtime,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockpart_graph::Interaction;
+    use blockpart_types::{Address, Timestamp};
+
+    fn log() -> InteractionLog {
+        let mut log = InteractionLog::new();
+        for d in 0..30u64 {
+            for h in 0..24 {
+                let t = Timestamp::from_secs(d * 86_400 + h * 3_600);
+                let i = (d * 24 + h) % 20;
+                log.push(Interaction::new(
+                    t,
+                    Address::from_index(i),
+                    Address::from_index((i + 1) % 20),
+                ));
+            }
+        }
+        log
+    }
+
+    #[test]
+    fn offline_experiment_over_log() {
+        let log = log();
+        let registry = StrategyRegistry::with_builtins();
+        let report = Experiment::over_log(&log)
+            .named_strategies(&registry, "hash,metis")
+            .unwrap()
+            .shard_counts(vec![ShardCount::TWO])
+            .run();
+        assert_eq!(report.runs.len(), 2);
+        let hash = report.offline("HASH", ShardCount::TWO).expect("hash ran");
+        assert_eq!(hash.total_moves, 0);
+        assert!(report.runtime("hash", ShardCount::TWO).is_none());
+        assert!(report.offline("kl", ShardCount::TWO).is_none());
+        assert_eq!(report.offline_table().len(), 2);
+        assert_eq!(report.runtime_table().len(), 0);
+    }
+
+    #[test]
+    fn parallel_runs_are_deterministic() {
+        let log = log();
+        let registry = StrategyRegistry::with_builtins();
+        let run = || {
+            Experiment::over_log(&log)
+                .named_strategies(&registry, "kl,metis,tr-metis")
+                .unwrap()
+                .shard_counts(vec![ShardCount::TWO])
+                .seed(42)
+                .run()
+        };
+        let (a, b) = (run(), run());
+        for (ra, rb) in a.runs.iter().zip(&b.runs) {
+            assert_eq!(ra.strategy, rb.strategy);
+            let (sa, sb) = (ra.offline.as_ref().unwrap(), rb.offline.as_ref().unwrap());
+            assert_eq!(sa.total_moves, sb.total_moves);
+            assert_eq!(sa.windows, sb.windows);
+        }
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let log = log();
+        let registry = StrategyRegistry::with_builtins();
+        let report = Experiment::over_log(&log)
+            .named_strategies(&registry, "hash")
+            .unwrap()
+            .shard_counts(vec![ShardCount::TWO])
+            .run();
+        let json = report.to_json();
+        for field in [
+            "\"schema\":\"blockpart.experiment/1\"",
+            "\"strategy\":\"HASH\"",
+            "\"k\":2",
+            "\"total_moves\":0",
+            "\"mean_dynamic_edge_cut\":",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+        let pretty = report.to_json_pretty();
+        assert!(pretty.contains("\n  \"runs\": ["));
+    }
+
+    #[test]
+    fn parameterized_spec_strings_round_trip_as_lookup_keys() {
+        let log = log();
+        let registry = StrategyRegistry::with_builtins();
+        let report = Experiment::over_log(&log)
+            .named_strategies(&registry, "r-metis[window=7]")
+            .unwrap()
+            .shard_counts(vec![ShardCount::TWO])
+            .run();
+        assert_eq!(report.runs[0].strategy, "R-METIS[window=7]");
+        for key in [
+            "r-metis[window=7]",
+            "R_METIS[ window = 7 ]",
+            "R-METIS[window=7]",
+        ] {
+            assert!(report.offline(key, ShardCount::TWO).is_some(), "{key}");
+        }
+        assert!(report.offline("r-metis", ShardCount::TWO).is_none());
+        assert!(report
+            .offline("r-metis[window=8]", ShardCount::TWO)
+            .is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "replay requires a chain")]
+    fn replay_needs_a_chain() {
+        let log = log();
+        let _ = Experiment::over_log(&log).replay(true).run();
+    }
+
+    #[test]
+    fn default_covers_paper_grid() {
+        let log = log();
+        let e = Experiment::over_log(&log);
+        assert!(e.strategies.is_none(), "defaults resolve lazily");
+        assert_eq!(e.shard_counts.len(), 3);
+        assert_eq!(default_strategies().len(), 5);
+        // .strategy() on an unconfigured experiment extends the five
+        let e = e.strategy(default_strategies().remove(0).0);
+        assert_eq!(e.strategies.as_ref().map(Vec::len), Some(6));
+    }
+
+    #[test]
+    fn alias_spellings_find_their_runs() {
+        let log = log();
+        let registry = StrategyRegistry::with_builtins();
+        let report = Experiment::over_log(&log)
+            .named_strategies(&registry, "p-metis")
+            .unwrap()
+            .shard_counts(vec![ShardCount::TWO])
+            .run();
+        assert_eq!(report.runs[0].strategy, "R-METIS");
+        // both the requested alias and the display name resolve
+        assert!(report.offline("p-metis", ShardCount::TWO).is_some());
+        assert!(report.offline("r-metis", ShardCount::TWO).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty strategy list")]
+    fn empty_strategies_panic_instead_of_running_nothing() {
+        let log = log();
+        let _ = Experiment::over_log(&log).strategies(Vec::new()).run();
+    }
+
+    #[test]
+    #[should_panic(expected = "empty shard-count list")]
+    fn empty_shard_counts_panic_instead_of_running_nothing() {
+        let log = log();
+        let _ = Experiment::over_log(&log).shard_counts(Vec::new()).run();
+    }
+}

@@ -315,22 +315,15 @@ pub fn fig5_rows(result: &StudyResult) -> Vec<Fig5Row> {
         .runs
         .iter()
         .map(|run| {
-            let active: Vec<&blockpart_shard::WindowRecord> =
-                run.result.windows.iter().filter(|w| w.events > 0).collect();
-            let n = active.len().max(1) as f64;
-            let mean_cut = active.iter().map(|w| w.dynamic_edge_cut).sum::<f64>() / n;
-            let mean_bal = active.iter().map(|w| w.dynamic_balance).sum::<f64>() / n;
-            let k = run.k.as_usize();
-            let normalized = if k <= 1 {
-                0.0
-            } else {
-                ((mean_bal - 1.0) / (k as f64 - 1.0)).max(0.0)
-            };
+            let (mean_cut, mean_bal) = crate::experiment::mean_window_metrics(&run.result);
             Fig5Row {
                 method: run.method,
                 k: run.k,
                 dynamic_edge_cut: mean_cut,
-                normalized_balance: normalized,
+                normalized_balance: crate::experiment::normalized_balance(
+                    mean_bal,
+                    run.k.as_usize(),
+                ),
                 moves: run.result.total_moves,
                 repartitions: run.result.repartitions,
             }

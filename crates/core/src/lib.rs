@@ -6,14 +6,18 @@
 //! [`blockpart_shard`] simulator, and aggregates the per-window metrics
 //! into the tables behind the paper's figures.
 //!
-//! * [`Method`] — the five methods (HASH, KL, METIS, R-METIS, TR-METIS)
-//!   and their canonical simulator configurations;
-//! * [`Study`] — a builder that runs methods × shard counts (in parallel)
-//!   over one log and collects [`StudyResult`];
+//! * [`StrategySpec`] / [`StrategyRegistry`] — the open strategy API:
+//!   the five paper strategies ship as built-ins (parameterizable, e.g.
+//!   `r-metis[window=7]`), and user strategies register alongside them;
+//! * [`Experiment`] — the unified pipeline: workload source → graph
+//!   windowing → strategies × shard counts → offline simulation and/or
+//!   2PC runtime replay, collected in an [`ExperimentReport`] that
+//!   renders as tables or serializes to JSON;
 //! * [`experiments`] — one function per paper figure, each returning
 //!   renderable tables/series;
-//! * [`RuntimeStudy`] — the execution-level comparison: replay the chain
-//!   on each method's assignment through the sharded 2PC runtime.
+//! * [`Method`], [`Study`], [`RuntimeStudy`] — the closed predecessors,
+//!   kept as thin shims over the registry and pipeline so existing call
+//!   sites keep working and produce identical numbers.
 //!
 //! # Examples
 //!
@@ -35,13 +39,20 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+mod experiment;
 pub mod experiments;
 mod methods;
 mod runtime_study;
+mod strategy;
 mod study;
 
+pub use experiment::{Experiment, ExperimentReport, ExperimentRun};
 pub use methods::Method;
 pub use runtime_study::{runtime_table, RuntimeRun, RuntimeStudy, RuntimeStudyResult};
+pub use strategy::{
+    CanonicalStrategy, ResolvedStrategy, StrategyError, StrategyFactory, StrategyParams,
+    StrategyRegistry, StrategySpec, StreamingStrategy,
+};
 pub use study::{MethodRun, Study, StudyResult};
 
 pub use blockpart_types::{Duration, ShardCount, Timestamp};

@@ -1,17 +1,25 @@
-//! The five partitioning methods and their canonical configurations.
+//! The five paper methods as a closed enum — now a thin compatibility
+//! alias over the open strategy API in [`crate::strategy`].
 
-use blockpart_partition::kl::DistributedKlConfig;
-use blockpart_partition::{
-    DistributedKl, HashPartitioner, MultilevelConfig, MultilevelPartitioner, Partitioner,
-};
-use blockpart_shard::{PlacementRule, RepartitionPolicy, RepartitionScope, SimulatorConfig};
-use blockpart_types::{Duration, ShardCount};
+use blockpart_partition::Partitioner;
+use blockpart_shard::SimulatorConfig;
+use blockpart_types::ShardCount;
 use serde::{Deserialize, Serialize};
+
+use crate::strategy::{canonical_partitioner, canonical_simulator_config};
 
 /// One of the paper's five partitioning methods (§II-C).
 ///
 /// The paper's Fig. 4 labels R-METIS as "P-METIS"; they are the same
 /// method and [`Method::RMetis`] renders as `R-METIS`.
+///
+/// **Deprecated as an extension point:** this enum is closed; new code
+/// should resolve strategies through
+/// [`StrategyRegistry`](crate::StrategyRegistry) and run them with
+/// [`Experiment`](crate::Experiment), which accept user-registered and
+/// parameterized strategies. `Method` remains for existing call sites and
+/// delegates its configurations to the registry's canonical built-ins, so
+/// both paths produce identical results.
 ///
 /// # Examples
 ///
@@ -59,69 +67,20 @@ impl Method {
     /// The canonical simulator configuration for this method at `k`
     /// shards: placement rule, repartition policy and scope per the
     /// paper's description (4-hour windows, two-week periods).
+    ///
+    /// Delegates to the canonical strategy spec the registry ships for
+    /// this method.
     pub fn simulator_config(self, k: ShardCount) -> SimulatorConfig {
-        let base = SimulatorConfig::new(k);
-        match self {
-            Method::Hash => base
-                .with_placement(PlacementRule::Hash)
-                .with_policy(RepartitionPolicy::Never),
-            // §II-C: KL repartitions "based on the transactions executed
-            // in the period" — the reduced window, not the cumulative
-            // graph, which is what keeps its shards dynamically balanced.
-            Method::Kl => base
-                .with_placement(PlacementRule::Hash)
-                .with_scope(RepartitionScope::Window)
-                .with_scope_window(Duration::weeks(2))
-                .with_policy(RepartitionPolicy::Periodic {
-                    interval: Duration::weeks(2),
-                }),
-            Method::Metis => base
-                .with_placement(PlacementRule::MinCut)
-                .with_scope(RepartitionScope::Full)
-                .with_policy(RepartitionPolicy::Periodic {
-                    interval: Duration::weeks(2),
-                }),
-            Method::RMetis => base
-                .with_placement(PlacementRule::MinCut)
-                .with_scope(RepartitionScope::Window)
-                .with_scope_window(Duration::weeks(2))
-                .with_policy(RepartitionPolicy::Periodic {
-                    interval: Duration::weeks(2),
-                }),
-            Method::TrMetis => base
-                .with_placement(PlacementRule::MinCut)
-                .with_scope(RepartitionScope::Window)
-                .with_scope_window(Duration::weeks(2))
-                // thresholds picked via the ablation sweep (bin/ablation):
-                // this setting halves the moves of R-METIS while matching
-                // its edge-cut and balance — the paper's "dramatic
-                // decrease ... without compromising edge-cuts and balance"
-                .with_policy(RepartitionPolicy::Threshold {
-                    edge_cut: 0.5,
-                    balance: 2.0,
-                    // same cadence cap as the periodic methods: TR-METIS
-                    // exists to repartition *less*, never more
-                    min_interval: Duration::weeks(2),
-                }),
-        }
+        canonical_simulator_config(self, k)
     }
 
     /// Constructs the partitioner backing this method, seeded for
     /// reproducibility.
+    ///
+    /// Delegates to the canonical strategy spec the registry ships for
+    /// this method.
     pub fn partitioner(self, seed: u64) -> Box<dyn Partitioner> {
-        match self {
-            Method::Hash => Box::new(HashPartitioner::new()),
-            Method::Kl => Box::new(DistributedKl::new(DistributedKlConfig {
-                seed,
-                ..DistributedKlConfig::default()
-            })),
-            Method::Metis | Method::RMetis | Method::TrMetis => {
-                Box::new(MultilevelPartitioner::new(MultilevelConfig {
-                    seed,
-                    ..MultilevelConfig::default()
-                }))
-            }
-        }
+        canonical_partitioner(self, seed)
     }
 }
 
@@ -134,6 +93,7 @@ impl std::fmt::Display for Method {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use blockpart_shard::{PlacementRule, RepartitionPolicy, RepartitionScope};
 
     #[test]
     fn labels_are_unique() {

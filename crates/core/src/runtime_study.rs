@@ -8,13 +8,20 @@
 //! study replays the chain's transactions on the final assignment through
 //! two-phase commit over partitioned EVM state.
 
+//! [`RuntimeStudy`] predates the unified [`Experiment`](crate::Experiment)
+//! pipeline and is now a thin shim over it, kept so [`Method`]-based call
+//! sites migrate incrementally.
+
+use std::sync::Arc;
+
 use blockpart_ethereum::SyntheticChain;
 use blockpart_metrics::Table;
-use blockpart_runtime::{Assignment, RuntimeConfig, RuntimeReport, ShardedRuntime};
-use blockpart_shard::ShardSimulator;
+use blockpart_runtime::{RuntimeConfig, RuntimeReport};
 use blockpart_types::ShardCount;
 
+use crate::experiment::Experiment;
 use crate::methods::Method;
+use crate::strategy::{CanonicalStrategy, StrategySpec};
 
 /// One completed runtime replay: a method's assignment at a shard count.
 #[derive(Clone, Debug)]
@@ -126,21 +133,42 @@ impl<'a> RuntimeStudy<'a> {
     }
 
     /// Runs every method × shard-count pair.
+    ///
+    /// Delegates to the unified [`Experiment`] pipeline (simulate the
+    /// log, replay the chain on the final assignment); the numbers are
+    /// identical to the historical direct implementation.
     pub fn run(self) -> RuntimeStudyResult {
+        let specs: Vec<Arc<dyn StrategySpec>> = self
+            .methods
+            .iter()
+            .map(|&m| Arc::new(CanonicalStrategy::new(m)) as Arc<dyn StrategySpec>)
+            .collect();
+        let report = Experiment::over_chain(self.chain)
+            .strategies(specs)
+            .shard_counts(self.shard_counts.clone())
+            .seed(self.seed)
+            .offline(false)
+            .replay(true)
+            .net_latency_us(self.net_latency_us)
+            .inter_arrival_us(self.inter_arrival_us)
+            .run();
+
+        let mut results = report.runs.into_iter();
         let mut runs = Vec::new();
         for &method in &self.methods {
             for &k in &self.shard_counts {
-                let mut sim =
-                    ShardSimulator::new(method.simulator_config(k), method.partitioner(self.seed));
-                sim.run(&self.chain.log);
-                let assignment = Assignment::from_map(sim.into_state().assignment_map(), k);
-                let cfg = RuntimeConfig::new(k)
-                    .with_seed(self.seed)
-                    .with_net_latency_us(self.net_latency_us)
-                    .with_inter_arrival_us(self.inter_arrival_us);
-                let report = ShardedRuntime::new(cfg, assignment)
-                    .run(self.chain.chain.world(), &self.chain.txs);
-                runs.push(RuntimeRun { method, k, report });
+                let run = results.next().expect("one run per pair");
+                assert_eq!(run.k, k, "experiment pair order changed");
+                assert_eq!(
+                    run.strategy,
+                    method.label(),
+                    "experiment pair order changed"
+                );
+                runs.push(RuntimeRun {
+                    method,
+                    k,
+                    report: run.runtime.expect("replay stage enabled"),
+                });
             }
         }
         RuntimeStudyResult { runs }

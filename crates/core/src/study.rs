@@ -1,10 +1,20 @@
 //! The study runner: methods × shard counts over one interaction log.
+//!
+//! [`Study`] predates the unified [`Experiment`](crate::Experiment)
+//! pipeline and is now a thin shim over it, kept so [`Method`]-based call
+//! sites migrate incrementally. New code should use
+//! [`Experiment`](crate::Experiment) with a
+//! [`StrategyRegistry`](crate::StrategyRegistry).
+
+use std::sync::Arc;
 
 use blockpart_graph::InteractionLog;
-use blockpart_shard::{ShardSimulator, SimulationResult};
+use blockpart_shard::SimulationResult;
 use blockpart_types::{Duration, ShardCount};
 
+use crate::experiment::Experiment;
 use crate::methods::Method;
+use crate::strategy::{CanonicalStrategy, StrategySpec};
 
 /// One completed simulation: a method at a shard count.
 #[derive(Clone, Debug)]
@@ -112,41 +122,44 @@ impl<'a> Study<'a> {
     }
 
     /// Runs every method × shard-count pair and collects the results.
+    ///
+    /// Delegates to the unified [`Experiment`] pipeline with each
+    /// method's canonical strategy spec; the numbers are identical to
+    /// the historical direct implementation.
     pub fn run(self) -> StudyResult {
-        let mut pairs: Vec<(Method, ShardCount)> = Vec::new();
-        for &m in &self.methods {
-            for &k in &self.shard_counts {
-                pairs.push((m, k));
-            }
-        }
-        let log = self.log;
-        let window = self.window;
-        let seed = self.seed;
+        let specs: Vec<Arc<dyn StrategySpec>> = self
+            .methods
+            .iter()
+            .map(|&m| Arc::new(CanonicalStrategy::new(m)) as Arc<dyn StrategySpec>)
+            .collect();
+        let report = Experiment::over_log(self.log)
+            .strategies(specs)
+            .shard_counts(self.shard_counts.clone())
+            .window(self.window)
+            .seed(self.seed)
+            .run();
 
-        let mut runs: Vec<Option<MethodRun>> = Vec::new();
-        runs.resize_with(pairs.len(), || None);
-        crossbeam::thread::scope(|scope| {
-            for (slot, &(method, k)) in runs.iter_mut().zip(&pairs) {
-                scope.spawn(move |_| {
-                    let config = method.simulator_config(k).with_window(window);
-                    let partitioner = method.partitioner(seed);
-                    let mut sim = ShardSimulator::new(config, partitioner);
-                    *slot = Some(MethodRun {
-                        method,
-                        k,
-                        result: sim.run(log),
-                    });
+        // the experiment preserves strategy-major pair order, which is
+        // exactly the methods-major order this result promises
+        let mut results = report.runs.into_iter();
+        let mut runs = Vec::new();
+        for &method in &self.methods {
+            for &k in &self.shard_counts {
+                let run = results.next().expect("one run per pair");
+                assert_eq!(run.k, k, "experiment pair order changed");
+                assert_eq!(
+                    run.strategy,
+                    method.label(),
+                    "experiment pair order changed"
+                );
+                runs.push(MethodRun {
+                    method,
+                    k,
+                    result: run.offline.expect("offline stage enabled"),
                 });
             }
-        })
-        .expect("study worker panicked");
-
-        StudyResult {
-            runs: runs
-                .into_iter()
-                .map(|r| r.expect("run completed"))
-                .collect(),
         }
+        StudyResult { runs }
     }
 }
 

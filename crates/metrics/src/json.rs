@@ -1,0 +1,239 @@
+//! A minimal JSON document builder.
+//!
+//! The workspace builds fully offline, so `serde` is a no-op shim (see
+//! `third_party/README.md`) and no `serde_json` exists. Reports that want
+//! a machine-readable form build a [`Json`] tree by hand and render it;
+//! the output is plain RFC 8259 JSON suitable for `jq` and CI diffing.
+//!
+//! # Examples
+//!
+//! ```
+//! use blockpart_metrics::Json;
+//!
+//! let doc = Json::obj([
+//!     ("name", Json::from("HASH")),
+//!     ("k", Json::from(2u64)),
+//!     ("cut", Json::from(0.5f64)),
+//! ]);
+//! assert_eq!(doc.render(), r#"{"name":"HASH","k":2,"cut":0.5}"#);
+//! ```
+
+/// A JSON value tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer, rendered exactly.
+    Int(i64),
+    /// An unsigned integer, rendered exactly (no f64 precision loss).
+    UInt(u64),
+    /// A float. Non-finite values render as `null`.
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array from values.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Renders compact JSON (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Renders human/diff-friendly JSON with 2-space indentation.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let newline = |out: &mut String, depth: usize| {
+            if let Some(w) = indent {
+                out.push('\n');
+                out.push_str(&" ".repeat(w * depth));
+            }
+        };
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::UInt(u) => out.push_str(&u.to_string()),
+            Json::Num(f) if !f.is_finite() => out.push_str("null"),
+            Json::Num(f) => {
+                // Rust's shortest round-trip float formatting is valid
+                // JSON except for integral values ("1" needs no ".0", but
+                // emit it so consumers see a float-typed field)
+                let s = f.to_string();
+                out.push_str(&s);
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            }
+            Json::Str(s) => escape_into(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline(out, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                if !items.is_empty() {
+                    newline(out, depth);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline(out, depth + 1);
+                    escape_into(key, out);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write(out, indent, depth + 1);
+                }
+                if !pairs.is_empty() {
+                    newline(out, depth);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::UInt(v)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::UInt(v as u64)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::UInt(u64::from(v))
+    }
+}
+impl From<u16> for Json {
+    fn from(v: u16) -> Json {
+        Json::UInt(u64::from(v))
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Int(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::from(true).render(), "true");
+        assert_eq!(Json::from(42u64).render(), "42");
+        assert_eq!(Json::from(-7i64).render(), "-7");
+        assert_eq!(Json::from(0.5).render(), "0.5");
+        assert_eq!(Json::from(3.0).render(), "3.0");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn large_u64_is_exact() {
+        let v = u64::MAX;
+        assert_eq!(Json::from(v).render(), v.to_string());
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(
+            Json::from("a\"b\\c\nd\u{1}").render(),
+            "\"a\\\"b\\\\c\\nd\\u0001\""
+        );
+    }
+
+    #[test]
+    fn nested_structure() {
+        let doc = Json::obj([
+            ("xs", Json::arr([Json::from(1u64), Json::from(2u64)])),
+            ("empty", Json::arr([])),
+            ("o", Json::obj::<&str>([])),
+        ]);
+        assert_eq!(doc.render(), r#"{"xs":[1,2],"empty":[],"o":{}}"#);
+    }
+
+    #[test]
+    fn pretty_is_reparseable_shape() {
+        let doc = Json::obj([("a", Json::arr([Json::from(1u64)]))]);
+        let pretty = doc.render_pretty();
+        assert!(pretty.contains("\n  \"a\": [\n"));
+        // compact and pretty carry the same tokens
+        let strip = |s: &str| s.replace([' ', '\n'], "");
+        assert_eq!(strip(&pretty), strip(&doc.render()));
+    }
+}

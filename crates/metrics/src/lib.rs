@@ -10,6 +10,8 @@
 //! * [`FiveNumber`] — min/Q1/median/Q3/max (the box-and-whisker numbers);
 //! * [`ViolinDensity`] — a Gaussian kernel density estimate (the violin);
 //! * [`Table`] — ASCII/CSV table rendering for the bench binaries;
+//! * [`Json`] — a minimal JSON builder for machine-readable reports
+//!   (the workspace builds offline, without `serde_json`);
 //! * [`calendar`] — month labelling aligned with the paper's x-axes.
 //!
 //! # Examples
@@ -28,12 +30,14 @@
 pub mod calendar;
 mod concentration;
 mod histogram;
+mod json;
 mod report;
 mod series;
 mod summary;
 
 pub use concentration::{gini, top_share};
 pub use histogram::LogHistogram;
+pub use json::Json;
 pub use report::Table;
 pub use series::TimeSeries;
 pub use summary::{percentile_sorted, FiveNumber, ViolinDensity};

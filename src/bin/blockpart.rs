@@ -2,11 +2,17 @@
 //!
 //! ```text
 //! blockpart generate --scale 0.001 --seed 42 --out trace.txt
-//! blockpart study    --scale 0.001 --seed 42 --methods hash,metis --shards 2,8
+//! blockpart study    --scale 0.001 --seed 42 --strategies hash,metis --shards 2,8
+//! blockpart study    --strategies "r-metis[window=7],tr-metis[cut=0.4]" --json
 //! blockpart offline  --scale 0.001 --shards 2     # streaming vs multilevel
 //! blockpart runtime  --scale 0.001 --shards 1,2,4 # 2PC execution replay
+//! blockpart list-strategies
 //! blockpart help
 //! ```
+//!
+//! Strategy names are resolved through the
+//! [`StrategyRegistry`](blockpart::core::StrategyRegistry): the built-ins
+//! plus anything a spec string parameterizes (`name[key=value;...]`).
 
 use std::collections::HashMap;
 use std::fs::File;
@@ -14,8 +20,7 @@ use std::io::BufWriter;
 use std::process::ExitCode;
 
 use blockpart::core::ablation::{offline_partitioner_comparison, offline_table};
-use blockpart::core::experiments::{fig5_rows, fig5_table};
-use blockpart::core::{runtime_table, Method, RuntimeStudy, Study};
+use blockpart::core::{Experiment, ExperimentReport, StrategyRegistry};
 use blockpart::ethereum::gen::{ChainGenerator, GeneratorConfig};
 use blockpart::graph::io::write_trace;
 use blockpart::types::ShardCount;
@@ -31,54 +36,102 @@ COMMANDS:
                --scale <f64>   rate fraction        (default 0.0012)
                --seed <u64>    generator seed        (default 42)
                --out <path>    trace file            (default trace.txt)
-    study      run partitioning methods over a synthetic chain
+    study      run partitioning strategies over a synthetic chain
                --scale, --seed as above
-               --methods <m,..>  hash|kl|metis|rmetis|trmetis|all (default all)
-               --shards <k,..>   shard counts          (default 2,4,8)
+               --strategies <s,..>  strategy specs, `all` for the paper's
+                                    five; parameterize with
+                                    name[key=value;...]   (default all)
+               --shards <k,..>      shard counts          (default 2,4,8)
+               --json               machine-readable ExperimentReport
     offline    one-shot partitioner comparison on the final graph
                --scale, --seed as above
                --shards <k>     single shard count     (default 2)
-    runtime    execute the chain on each method's assignment through the
+    runtime    execute the chain on each strategy's assignment through the
                sharded 2PC runtime and report coordination costs
                --scale, --seed as above
-               --methods <m,..>  (default hash,metis)
+               --strategies <s,..>  (default hash,metis)
                --shards <k,..>   shard counts           (default 1,2,4)
                --latency-us <n>  one-way net latency    (default 1000)
                --arrival-us <n>  arrival gap / offered load (default 500)
+               --json            machine-readable ExperimentReport
+    list-strategies
+               print the registered strategies and their parameters
     help       print this message
+
+`--methods` is accepted as an alias of `--strategies`.
 ";
 
+/// Options that are flags (no value follows them).
+const FLAG_OPTIONS: &[&str] = &["json"];
+
 fn main() -> ExitCode {
+    let registry = StrategyRegistry::with_builtins();
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
+    match run(&registry, &args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("{USAGE}");
+            eprintln!("STRATEGIES:\n{}", registry.help_table().render_ascii());
             ExitCode::FAILURE
         }
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(registry: &StrategyRegistry, args: &[String]) -> Result<(), String> {
     let Some(command) = args.first() else {
         return Err("missing command".into());
     };
     let opts = parse_options(&args[1..])?;
     match command.as_str() {
-        "generate" => cmd_generate(&opts),
-        "study" => cmd_study(&opts),
-        "offline" => cmd_offline(&opts),
-        "runtime" => cmd_runtime(&opts),
+        "generate" => {
+            ensure_known_options(&opts, "generate", &["scale", "seed", "out"])?;
+            cmd_generate(&opts)
+        }
+        "study" => {
+            ensure_known_options(
+                &opts,
+                "study",
+                &["scale", "seed", "strategies", "methods", "shards", "json"],
+            )?;
+            cmd_study(registry, &opts)
+        }
+        "offline" => {
+            ensure_known_options(&opts, "offline", &["scale", "seed", "shards"])?;
+            cmd_offline(&opts)
+        }
+        "runtime" => {
+            ensure_known_options(
+                &opts,
+                "runtime",
+                &[
+                    "scale",
+                    "seed",
+                    "strategies",
+                    "methods",
+                    "shards",
+                    "latency-us",
+                    "arrival-us",
+                    "json",
+                ],
+            )?;
+            cmd_runtime(registry, &opts)
+        }
+        "list-strategies" => {
+            ensure_known_options(&opts, "list-strategies", &[])?;
+            println!("{}", registry.help_table().render_ascii());
+            Ok(())
+        }
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
+            println!("STRATEGIES:\n{}", registry.help_table().render_ascii());
             Ok(())
         }
         other => Err(format!("unknown command `{other}`")),
     }
 }
 
-/// Parses `--key value` pairs.
+/// Parses `--key value` pairs (and bare `--flag` options).
 fn parse_options(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut opts = HashMap::new();
     let mut it = args.iter();
@@ -86,12 +139,46 @@ fn parse_options(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(name) = key.strip_prefix("--") else {
             return Err(format!("expected --option, found `{key}`"));
         };
+        if FLAG_OPTIONS.contains(&name) {
+            opts.insert(name.to_string(), "true".to_string());
+            continue;
+        }
         let Some(value) = it.next() else {
             return Err(format!("--{name} requires a value"));
         };
         opts.insert(name.to_string(), value.clone());
     }
     Ok(opts)
+}
+
+/// Rejects options the subcommand does not understand, naming the
+/// offending token.
+fn ensure_known_options(
+    opts: &HashMap<String, String>,
+    command: &str,
+    allowed: &[&str],
+) -> Result<(), String> {
+    let mut unknown: Vec<&str> = opts
+        .keys()
+        .map(String::as_str)
+        .filter(|k| !allowed.contains(k))
+        .collect();
+    unknown.sort_unstable();
+    match unknown.first() {
+        None => Ok(()),
+        Some(token) => Err(format!(
+            "unknown option `--{token}` for `{command}` (accepted: {})",
+            if allowed.is_empty() {
+                "none".to_string()
+            } else {
+                allowed
+                    .iter()
+                    .map(|o| format!("--{o}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            }
+        )),
+    }
 }
 
 fn scale_of(opts: &HashMap<String, String>) -> Result<f64, String> {
@@ -112,23 +199,24 @@ fn seed_of(opts: &HashMap<String, String>) -> Result<u64, String> {
     }
 }
 
-fn methods_of(opts: &HashMap<String, String>) -> Result<Vec<Method>, String> {
-    let Some(spec) = opts.get("methods") else {
-        return Ok(Method::ALL.to_vec());
-    };
-    if spec == "all" {
-        return Ok(Method::ALL.to_vec());
+fn json_of(opts: &HashMap<String, String>) -> bool {
+    opts.contains_key("json")
+}
+
+/// The strategy spec string: `--strategies`, its `--methods` alias, or
+/// the given default. Passing both flags is an error — silently
+/// preferring one would drop the other's strategies.
+fn strategy_spec_of<'a>(
+    opts: &'a HashMap<String, String>,
+    default: &'a str,
+) -> Result<&'a str, String> {
+    match (opts.get("strategies"), opts.get("methods")) {
+        (Some(_), Some(_)) => Err(
+            "both --strategies and --methods given; use one (--methods is an alias)".to_string(),
+        ),
+        (Some(s), None) | (None, Some(s)) => Ok(s),
+        (None, None) => Ok(default),
     }
-    spec.split(',')
-        .map(|name| match name.trim().to_ascii_lowercase().as_str() {
-            "hash" => Ok(Method::Hash),
-            "kl" => Ok(Method::Kl),
-            "metis" => Ok(Method::Metis),
-            "rmetis" | "r-metis" | "pmetis" | "p-metis" => Ok(Method::RMetis),
-            "trmetis" | "tr-metis" => Ok(Method::TrMetis),
-            other => Err(format!("unknown method `{other}`")),
-        })
-        .collect()
 }
 
 fn shards_of(opts: &HashMap<String, String>, default: &[u16]) -> Result<Vec<ShardCount>, String> {
@@ -177,24 +265,37 @@ fn cmd_generate(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_study(opts: &HashMap<String, String>) -> Result<(), String> {
+fn print_report(report: &ExperimentReport, json: bool, runtime: bool) {
+    if json {
+        println!("{}", report.to_json_pretty());
+    } else if runtime {
+        println!("{}", report.runtime_table().render_ascii());
+    } else {
+        println!("{}", report.offline_table().render_ascii());
+    }
+}
+
+fn cmd_study(registry: &StrategyRegistry, opts: &HashMap<String, String>) -> Result<(), String> {
     // validate all options before the (expensive) generation
-    let methods = methods_of(opts)?;
+    let spec = strategy_spec_of(opts, "all")?;
+    registry.resolve_list(spec).map_err(|e| e.to_string())?;
     let shards = shards_of(opts, &[2, 4, 8])?;
+    let seed = seed_of(opts)?;
     let chain = generate(opts)?;
-    let result = Study::new(&chain.log)
-        .methods(methods)
+    let report = Experiment::over_log(&chain.log)
+        .named_strategies(registry, spec)
+        .map_err(|e| e.to_string())?
         .shard_counts(shards)
-        .seed(seed_of(opts)?)
+        .seed(seed)
         .run();
-    println!("{}", fig5_table(&fig5_rows(&result)).render_ascii());
+    print_report(&report, json_of(opts), false);
     Ok(())
 }
 
 fn cmd_offline(opts: &HashMap<String, String>) -> Result<(), String> {
-    let chain = generate(opts)?;
     let shards = shards_of(opts, &[2])?;
     let k = *shards.first().ok_or("need one shard count")?;
+    let chain = generate(opts)?;
     let rows = offline_partitioner_comparison(&chain.log, k);
     println!("{}", offline_table(&rows).render_ascii());
     Ok(())
@@ -207,40 +308,43 @@ fn micros_of(opts: &HashMap<String, String>, key: &str, default: u64) -> Result<
     }
 }
 
-fn cmd_runtime(opts: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_runtime(registry: &StrategyRegistry, opts: &HashMap<String, String>) -> Result<(), String> {
     // validate all options before the (expensive) generation
-    let methods = match opts.get("methods") {
-        None => vec![Method::Hash, Method::Metis],
-        Some(_) => methods_of(opts)?,
-    };
+    let spec = strategy_spec_of(opts, "hash,metis")?;
+    registry.resolve_list(spec).map_err(|e| e.to_string())?;
     let shards = shards_of(opts, &[1, 2, 4])?;
     let seed = seed_of(opts)?;
     let latency_us = micros_of(opts, "latency-us", 1_000)?;
     let arrival_us = micros_of(opts, "arrival-us", 500)?;
     let chain = generate(opts)?;
-    let result = RuntimeStudy::new(&chain)
-        .methods(methods.clone())
+    let report = Experiment::over_chain(&chain)
+        .named_strategies(registry, spec)
+        .map_err(|e| e.to_string())?
         .shard_counts(shards.clone())
         .seed(seed)
+        .offline(false)
+        .replay(true)
         .net_latency_us(latency_us)
         .inter_arrival_us(arrival_us)
         .run();
-    println!("{}", runtime_table(&result.runs).render_ascii());
-    // the headline the study exists to show: a better cut means fewer
-    // transactions pay the 2PC coordination tax
-    for &k in &shards {
-        if k.get() < 2 {
-            continue;
-        }
-        if let (Some(hash), Some(metis)) =
-            (result.get(Method::Hash, k), result.get(Method::Metis, k))
-        {
-            println!(
-                "k={}: cross-shard ratio hash {:.1}% vs metis {:.1}%",
-                k.get(),
-                hash.cross_shard_ratio * 100.0,
-                metis.cross_shard_ratio * 100.0
-            );
+    print_report(&report, json_of(opts), true);
+    if !json_of(opts) {
+        // the headline the study exists to show: a better cut means fewer
+        // transactions pay the 2PC coordination tax
+        for &k in &shards {
+            if k.get() < 2 {
+                continue;
+            }
+            if let (Some(hash), Some(metis)) =
+                (report.runtime("hash", k), report.runtime("metis", k))
+            {
+                println!(
+                    "k={}: cross-shard ratio hash {:.1}% vs metis {:.1}%",
+                    k.get(),
+                    hash.cross_shard_ratio * 100.0,
+                    metis.cross_shard_ratio * 100.0
+                );
+            }
         }
     }
     Ok(())
@@ -259,13 +363,14 @@ mod tests {
 
     #[test]
     fn parse_options_pairs() {
-        let args: Vec<String> = ["--scale", "0.5", "--seed", "7"]
+        let args: Vec<String> = ["--scale", "0.5", "--seed", "7", "--json"]
             .iter()
             .map(|s| s.to_string())
             .collect();
         let o = parse_options(&args).unwrap();
         assert_eq!(o.get("scale").map(String::as_str), Some("0.5"));
         assert_eq!(o.get("seed").map(String::as_str), Some("7"));
+        assert!(json_of(&o));
     }
 
     #[test]
@@ -274,6 +379,16 @@ mod tests {
         assert!(parse_options(&args).is_err());
         let dangling = vec!["--seed".to_string()];
         assert!(parse_options(&dangling).is_err());
+    }
+
+    #[test]
+    fn unknown_options_name_the_token() {
+        let o = opts(&[("scale", "0.5"), ("bogus", "1")]);
+        let err = ensure_known_options(&o, "study", &["scale", "seed"]).unwrap_err();
+        assert!(err.contains("--bogus"), "{err}");
+        assert!(err.contains("study"), "{err}");
+        assert!(err.contains("--scale"), "{err}");
+        assert!(ensure_known_options(&o, "x", &["scale", "bogus"]).is_ok());
     }
 
     #[test]
@@ -286,11 +401,35 @@ mod tests {
     }
 
     #[test]
-    fn methods_parsing() {
-        assert_eq!(methods_of(&opts(&[])).unwrap().len(), 5);
-        let m = methods_of(&opts(&[("methods", "hash,tr-metis")])).unwrap();
-        assert_eq!(m, vec![Method::Hash, Method::TrMetis]);
-        assert!(methods_of(&opts(&[("methods", "bogus")])).is_err());
+    fn strategy_specs_resolve_via_registry() {
+        let registry = StrategyRegistry::with_builtins();
+        assert_eq!(
+            registry
+                .resolve_list(strategy_spec_of(&opts(&[]), "all").unwrap())
+                .unwrap()
+                .len(),
+            5
+        );
+        let o = opts(&[("methods", "hash,tr-metis")]);
+        let specs = registry
+            .resolve_list(strategy_spec_of(&o, "all").unwrap())
+            .unwrap();
+        let names: Vec<&str> = specs.iter().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["HASH", "TR-METIS"]);
+        let o = opts(&[("strategies", "bogus")]);
+        assert!(registry
+            .resolve_list(strategy_spec_of(&o, "all").unwrap())
+            .is_err());
+    }
+
+    #[test]
+    fn conflicting_strategy_flags_error() {
+        let o = opts(&[("strategies", "hash"), ("methods", "metis")]);
+        let err = strategy_spec_of(&o, "all").unwrap_err();
+        assert!(
+            err.contains("--strategies") && err.contains("--methods"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -304,7 +443,16 @@ mod tests {
 
     #[test]
     fn unknown_command_errors() {
-        assert!(run(&["frobnicate".to_string()]).is_err());
-        assert!(run(&[]).is_err());
+        let registry = StrategyRegistry::with_builtins();
+        let err = run(&registry, &["frobnicate".to_string()]).unwrap_err();
+        assert!(err.contains("frobnicate"), "{err}");
+        assert!(run(&registry, &[]).is_err());
+        // unknown option on a valid command names the token
+        let args: Vec<String> = ["study", "--frob", "1"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = run(&registry, &args).unwrap_err();
+        assert!(err.contains("--frob"), "{err}");
     }
 }

@@ -16,8 +16,16 @@
 //!   blocks and the era-driven workload generator;
 //! * [`shard`] — the sharding simulator (placement, repartition policies,
 //!   move accounting);
+//! * [`runtime`] — the sharded 2PC execution engine;
 //! * [`metrics`] — summary statistics and report rendering;
-//! * [`core`] — the study runner and one entry point per paper figure.
+//! * [`core`] — the strategy registry, the unified experiment pipeline
+//!   and one entry point per paper figure.
+//!
+//! The strategy surface is open: implement
+//! [`StrategySpec`](crate::core::StrategySpec), register it with a
+//! [`StrategyRegistry`](crate::core::StrategyRegistry) and run it through
+//! [`Experiment`](crate::core::Experiment) — see the README's *Extending
+//! with your own strategy* section (compile-tested below).
 //!
 //! # Quickstart
 //!
@@ -52,5 +60,13 @@ pub use blockpart_ethereum as ethereum;
 pub use blockpart_graph as graph;
 pub use blockpart_metrics as metrics;
 pub use blockpart_partition as partition;
+pub use blockpart_runtime as runtime;
 pub use blockpart_shard as shard;
 pub use blockpart_types as types;
+
+/// The README's code blocks, compile-tested as doctests (`cargo test`
+/// runs them; the "extending with your own strategy" example must keep
+/// working against the current API).
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;

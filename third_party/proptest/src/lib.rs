@@ -283,7 +283,7 @@ pub mod collection {
 
     use super::{Strategy, TestRng};
 
-    /// Length specifications accepted by [`vec`]: a fixed `usize` or a
+    /// Length specifications accepted by [`vec()`](fn@vec): a fixed `usize` or a
     /// `Range<usize>`.
     pub trait IntoSizeRange {
         /// The equivalent half-open range.
@@ -311,7 +311,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`](fn@vec).
     pub struct VecStrategy<S> {
         element: S,
         len: core::ops::Range<usize>,
