@@ -1,5 +1,5 @@
-//! Shared scaffolding for the figure-regeneration binaries and criterion
-//! benchmarks.
+//! Shared scaffolding for the figure-regeneration binaries, the [`perf`]
+//! measurement harness and the criterion benchmarks.
 //!
 //! Each `fig*` binary regenerates one figure of the paper from a synthetic
 //! chain. All binaries honour two environment variables:
@@ -16,6 +16,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod perf;
 
 use blockpart_ethereum::gen::{ChainGenerator, GeneratorConfig};
 use blockpart_ethereum::SyntheticChain;

@@ -38,8 +38,9 @@
 //! assert!(report.to_json().starts_with('{'));
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
+
+use crossbeam::deque::{Steal, Stealer, Worker};
 
 use blockpart_ethereum::gen::{ChainGenerator, GeneratorConfig};
 use blockpart_ethereum::SyntheticChain;
@@ -220,6 +221,28 @@ impl ExperimentReport {
                 })),
             ),
         ])
+    }
+}
+
+/// Finds worker `me`'s next task: its own deque first, then a stealing
+/// sweep over its peers (starting just after itself, so thieves spread
+/// out). Returns `None` only when every queue is drained.
+fn next_task(local: &Worker<usize>, stealers: &[Stealer<usize>], me: usize) -> Option<usize> {
+    if let Some(i) = local.pop() {
+        return Some(i);
+    }
+    loop {
+        let mut retry = false;
+        for offset in 1..stealers.len() {
+            match stealers[(me + offset) % stealers.len()].steal() {
+                Steal::Success(i) => return Some(i),
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            }
+        }
+        if !retry {
+            return None;
+        }
     }
 }
 
@@ -522,28 +545,36 @@ impl<'a> Experiment<'a> {
             }
         }
 
-        // bounded worker pool: a replay pair holds a full per-shard copy
-        // of the world state, so one-thread-per-pair would multiply peak
-        // memory by the pair count on large grids
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(pairs.len().max(1));
-        let next = AtomicUsize::new(0);
+        // Work-stealing fan-out over a bounded worker set: a replay pair
+        // holds a full per-shard copy of the world state, so
+        // one-thread-per-pair would multiply peak memory by the pair
+        // count on large grids (`BLOCKPART_THREADS` caps the bound, via
+        // resolve_workers, for memory-constrained hosts). Each worker
+        // owns a local deque seeded round-robin; when it drains (pair
+        // costs are wildly uneven — HASH at k=2 versus a METIS replay at
+        // k=8) it steals from its peers, so no thread idles while work
+        // remains. Results carry their pair index, so the report order —
+        // and every number in it — is independent of which thread ran
+        // what.
+        let workers = blockpart_types::resolve_workers(0).min(pairs.len().max(1));
+        let queues: Vec<Worker<usize>> = (0..workers).map(|_| Worker::new_fifo()).collect();
+        for (i, _) in pairs.iter().enumerate() {
+            queues[i % workers].push(i);
+        }
+        let stealers: Vec<Stealer<usize>> = queues.iter().map(|q| q.stealer()).collect();
         let (tx, rx) = mpsc::channel::<(usize, ExperimentRun)>();
         let this = &self;
         crossbeam::thread::scope(|scope| {
-            for _ in 0..workers {
+            for (me, local) in queues.iter().enumerate() {
                 let tx = tx.clone();
-                let (next, pairs) = (&next, &pairs);
-                scope.spawn(move |_| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&(spec, requested, k)) = pairs.get(i) else {
-                        break;
-                    };
-                    let mut run = this.run_pair(spec.as_ref(), k, log, chain);
-                    run.requested = requested.clone();
-                    tx.send((i, run)).expect("collector outlives workers");
+                let (stealers, pairs) = (&stealers, &pairs);
+                scope.spawn(move |_| {
+                    while let Some(i) = next_task(local, stealers, me) {
+                        let (spec, requested, k) = pairs[i];
+                        let mut run = this.run_pair(spec.as_ref(), k, log, chain);
+                        run.requested = requested.clone();
+                        tx.send((i, run)).expect("collector outlives workers");
+                    }
                 });
             }
         })

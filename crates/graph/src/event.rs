@@ -3,7 +3,6 @@
 use blockpart_types::{AccountKind, Address, Timestamp};
 use serde::{Deserialize, Serialize};
 
-use crate::builder::GraphBuilder;
 use crate::graph::Graph;
 
 /// One timestamped interaction between two addresses.
@@ -148,14 +147,22 @@ impl InteractionLog {
     }
 
     /// Builds a graph from a slice of interactions.
+    ///
+    /// Large slices are built by the sharded parallel path (equivalent to
+    /// [`graph_of_workers`](Self::graph_of_workers) with automatic worker
+    /// selection); the output is identical either way.
     pub fn graph_of(events: &[Interaction]) -> Graph {
-        let mut b = GraphBuilder::new();
-        for e in events {
-            b.touch(e.from, e.from_kind);
-            b.touch(e.to, e.to_kind);
-            b.add_interaction(e.from, e.to, e.weight);
-        }
-        b.build()
+        Self::graph_of_workers(events, 0)
+    }
+
+    /// Builds a graph from a slice of interactions on `workers` threads
+    /// (`0` = automatic).
+    ///
+    /// Every worker count produces byte-identical output — vertex
+    /// numbering stays global first-appearance order and adjacency rows
+    /// stay sorted — so this knob trades only wall-clock time.
+    pub fn graph_of_workers(events: &[Interaction], workers: usize) -> Graph {
+        crate::builder::graph_of_events(events, workers)
     }
 }
 

@@ -73,6 +73,10 @@ pub struct MultilevelConfig {
     pub weighting: VertexWeighting,
     /// RNG seed (matchings, growing seeds and visit orders draw from it).
     pub seed: u64,
+    /// Worker threads for the matching and contraction phases (`0` =
+    /// automatic). Any value produces byte-identical partitions; this
+    /// knob trades only wall-clock time.
+    pub threads: usize,
 }
 
 impl Default for MultilevelConfig {
@@ -85,6 +89,7 @@ impl Default for MultilevelConfig {
             matching: MatchingScheme::HeavyEdge,
             weighting: VertexWeighting::Unit,
             seed: 0x004d_4554_4953, // "METIS"
+            threads: 0,
         }
     }
 }
@@ -168,8 +173,9 @@ pub fn kway(csr: &Csr, k: blockpart_types::ShardCount, config: &MultilevelConfig
     let mut levels: Vec<(Csr, Vec<u32>)> = Vec::new(); // (fine graph, fine->coarse map)
     let mut current = base;
     while current.node_count() > stop_at {
-        let matching = matching::match_vertices(&current, config.matching, &mut rng);
-        let (coarse, map) = coarsen::contract(&current, &matching);
+        let matching =
+            matching::match_vertices_workers(&current, config.matching, &mut rng, config.threads);
+        let (coarse, map) = coarsen::contract_workers(&current, &matching, config.threads);
         // Stop when coarsening stalls (highly connected graphs).
         if coarse.node_count() as f64 > current.node_count() as f64 * 0.95 {
             break;

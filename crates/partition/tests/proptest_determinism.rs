@@ -1,0 +1,64 @@
+//! Worker-count determinism: the parallel matching, contraction and full
+//! multilevel pipeline must produce byte-identical results whether they
+//! run on one thread or many.
+
+use blockpart_graph::Csr;
+use blockpart_partition::multilevel::coarsen::{contract, contract_workers};
+use blockpart_partition::multilevel::matching::{
+    match_vertices, match_vertices_workers, MatchingScheme,
+};
+use blockpart_partition::{kway, MultilevelConfig};
+use blockpart_types::ShardCount;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A random connected-ish weighted graph: a spanning path plus extras.
+fn graph_strategy() -> impl Strategy<Value = Csr> {
+    (8usize..120).prop_flat_map(|n| {
+        let extra =
+            (0..n as u32, 0..n as u32, 1u64..50).prop_filter("no self-loops", |(u, v, _)| u != v);
+        (Just(n), proptest::collection::vec(extra, 0..200)).prop_map(|(n, mut edges)| {
+            for v in 1..n as u32 {
+                edges.push((v - 1, v, 1 + u64::from(v % 7)));
+            }
+            Csr::from_edges(n, &edges)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matching_is_worker_count_invariant(csr in graph_strategy(), workers in 2usize..6) {
+        let mut rng1 = SmallRng::seed_from_u64(7);
+        let mut rng2 = SmallRng::seed_from_u64(7);
+        let serial = match_vertices(&csr, MatchingScheme::HeavyEdge, &mut rng1);
+        let parallel =
+            match_vertices_workers(&csr, MatchingScheme::HeavyEdge, &mut rng2, workers);
+        prop_assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn contraction_is_worker_count_invariant(csr in graph_strategy(), workers in 2usize..6) {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mate = match_vertices(&csr, MatchingScheme::HeavyEdge, &mut rng);
+        let (coarse_s, map_s) = contract(&csr, &mate);
+        let (coarse_p, map_p) = contract_workers(&csr, &mate, workers);
+        prop_assert_eq!(coarse_s, coarse_p);
+        prop_assert_eq!(map_s, map_p);
+    }
+
+    #[test]
+    fn kway_partitions_are_worker_count_invariant(
+        csr in graph_strategy(),
+        workers in 2usize..6,
+        k in 2u16..6,
+    ) {
+        let serial = MultilevelConfig { threads: 1, ..MultilevelConfig::default() };
+        let parallel = MultilevelConfig { threads: workers, ..MultilevelConfig::default() };
+        let k = ShardCount::new(k).unwrap();
+        prop_assert_eq!(kway(&csr, k, &serial), kway(&csr, k, &parallel));
+    }
+}

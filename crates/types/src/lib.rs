@@ -25,11 +25,13 @@
 #![warn(missing_docs)]
 
 mod address;
+mod parallelism;
 mod quantity;
 mod shard;
 mod time;
 
 pub use address::{AccountKind, Address};
+pub use parallelism::{resolve_workers, split_ranges};
 pub use quantity::{BlockNumber, Gas, Wei};
 pub use shard::{ShardCount, ShardId};
 pub use time::{Duration, Timestamp};

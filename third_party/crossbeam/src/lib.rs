@@ -1,7 +1,151 @@
-//! Offline shim for the `crossbeam::thread::scope` API, delegating to
-//! `std::thread::scope` (available since Rust 1.63).
+//! Offline shim for the `crossbeam` API subset the workspace uses:
+//! `crossbeam::thread::scope` (delegating to `std::thread::scope`,
+//! available since Rust 1.63) and `crossbeam::deque` work-stealing
+//! queues (mutex-backed — correct and API-compatible, not lock-free).
 
 #![forbid(unsafe_code)]
+
+pub mod deque {
+    //! Work-stealing queues with crossbeam's calling convention.
+    //!
+    //! [`Worker`] is an owner-facing queue handle; [`Stealer`] handles
+    //! (cloneable, `Send`) let other threads take tasks from it. The shim
+    //! backs both with one `Mutex<VecDeque>` per queue: contention-free
+    //! enough for coarse task granularity (the workspace schedules whole
+    //! experiment runs, not microtasks), and never returns the lock-free
+    //! implementation's transient [`Steal::Retry`].
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// The result of a steal attempt.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The attempt lost a race and may be retried (never produced by
+        /// this shim; kept so callers written against crossbeam compile).
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// Returns the stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+    }
+
+    /// A FIFO work queue owned by one worker thread.
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates an empty FIFO queue.
+        pub fn new_fifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Pushes a task onto the queue.
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("deque poisoned").push_back(task);
+        }
+
+        /// Pops the next task in FIFO order.
+        pub fn pop(&self) -> Option<T> {
+            self.queue.lock().expect("deque poisoned").pop_front()
+        }
+
+        /// Returns `true` if the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("deque poisoned").is_empty()
+        }
+
+        /// Creates a stealer handle for other threads.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Default for Worker<T> {
+        fn default() -> Self {
+            Worker::new_fifo()
+        }
+    }
+
+    /// A cloneable handle that steals tasks from a [`Worker`]'s queue.
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Stealer<T> {
+        /// Attempts to steal one task.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("deque poisoned").pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    /// A shared FIFO injector queue (crossbeam's global queue).
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes a task.
+        pub fn push(&self, task: T) {
+            self.queue
+                .lock()
+                .expect("injector poisoned")
+                .push_back(task);
+        }
+
+        /// Attempts to steal one task.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("injector poisoned").pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Returns `true` if the injector is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("injector poisoned").is_empty()
+        }
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Injector::new()
+        }
+    }
+}
 
 pub mod thread {
     //! Scoped threads with crossbeam's calling convention.
@@ -43,6 +187,53 @@ pub mod thread {
 
 #[cfg(test)]
 mod tests {
+    use super::deque::{Steal, Worker};
+
+    #[test]
+    fn deque_fifo_and_steal() {
+        let w: Worker<u32> = Worker::new_fifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(s.steal(), Steal::Success(2));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(s.steal(), Steal::Empty);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn stealers_share_across_threads() {
+        let w: Worker<u64> = Worker::new_fifo();
+        for i in 0..100 {
+            w.push(i);
+        }
+        let stealers: Vec<_> = (0..4).map(|_| w.stealer()).collect();
+        let total = std::sync::atomic::AtomicU64::new(0);
+        super::thread::scope(|scope| {
+            for s in &stealers {
+                let total = &total;
+                scope.spawn(move |_| {
+                    while let Steal::Success(v) = s.steal() {
+                        total.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(total.into_inner(), (0..100).sum::<u64>());
+    }
+
+    #[test]
+    fn injector_roundtrip() {
+        let inj: super::deque::Injector<u8> = super::deque::Injector::new();
+        assert!(inj.is_empty());
+        inj.push(9);
+        assert_eq!(inj.steal(), Steal::Success(9));
+        assert_eq!(inj.steal(), Steal::Empty);
+    }
+
     #[test]
     fn scope_joins_and_collects() {
         let data = vec![1u64, 2, 3, 4];
