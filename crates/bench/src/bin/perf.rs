@@ -15,7 +15,9 @@
 
 use std::process::ExitCode;
 
-use blockpart_bench::perf::{compare, compare_calibrated, run, PerfConfig, PerfReport};
+use blockpart_bench::perf::{
+    compare, compare_calibrated, obs_overhead, run, PerfConfig, PerfReport,
+};
 use blockpart_metrics::Json;
 
 const USAGE: &str = "\
@@ -30,6 +32,9 @@ options:
   --calibrate        rescale the baseline by the machines' relative speed
                      (probed by chain-gen) before comparing — use when the
                      baseline was recorded on different hardware (CI)
+  --obs-gate F       fail (exit code 2) when any replay-obs stage exceeds
+                     its uninstrumented replay twin by more than F
+                     (e.g. 0.05 = 5% instrumentation overhead)
   --scale F          override the generator scale
   --seed N           override the generator/partitioner seed
   --trials N         timed trials per stage
@@ -45,6 +50,7 @@ struct Options {
     check: Option<String>,
     tolerance: f64,
     calibrate: bool,
+    obs_gate: Option<f64>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -57,6 +63,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut check = None;
     let mut tolerance = 0.25;
     let mut calibrate = false;
+    let mut obs_gate = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -74,6 +81,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 tolerance = value("--tolerance")?
                     .parse()
                     .map_err(|_| "invalid --tolerance".to_string())?
+            }
+            "--obs-gate" => {
+                obs_gate = Some(
+                    value("--obs-gate")?
+                        .parse()
+                        .map_err(|_| "invalid --obs-gate".to_string())?,
+                )
             }
             "--scale" => {
                 config.scale = value("--scale")?
@@ -120,6 +134,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         check,
         tolerance,
         calibrate,
+        obs_gate,
     })
 }
 
@@ -162,8 +177,42 @@ fn main() -> ExitCode {
         }
     }
 
+    let mut obs_gate_failed = false;
+    if let Some(max_overhead) = options.obs_gate {
+        let (breaches, unpaired) = obs_overhead(&report, max_overhead);
+        for breach in &breaches {
+            println!(
+                "OBS OVERHEAD {}: {:.1} ms -> {:.1} ms ({:.0}% over uninstrumented, gate {:.0}%)",
+                breach.key,
+                breach.base_ms,
+                breach.obs_ms,
+                (breach.ratio - 1.0) * 100.0,
+                max_overhead * 100.0,
+            );
+        }
+        for key in &unpaired {
+            println!("OBS UNPAIRED {key}: no uninstrumented replay twin in this run");
+        }
+        obs_gate_failed = !breaches.is_empty() || !unpaired.is_empty();
+        if !obs_gate_failed {
+            let pairs = report
+                .stages
+                .iter()
+                .filter(|s| s.stage == "replay-obs")
+                .count();
+            println!(
+                "observability gate passed: {pairs} replay pairs within {:.0}% overhead",
+                max_overhead * 100.0,
+            );
+        }
+    }
+
     let Some(baseline_path) = options.check else {
-        return ExitCode::SUCCESS;
+        return if obs_gate_failed {
+            ExitCode::from(2)
+        } else {
+            ExitCode::SUCCESS
+        };
     };
     let baseline = match std::fs::read_to_string(&baseline_path)
         .map_err(|e| e.to_string())
@@ -204,7 +253,11 @@ fn main() -> ExitCode {
             baseline.stages.len(),
             options.tolerance * 100.0,
         );
-        ExitCode::SUCCESS
+        if obs_gate_failed {
+            ExitCode::from(2)
+        } else {
+            ExitCode::SUCCESS
+        }
     } else {
         ExitCode::from(2)
     }

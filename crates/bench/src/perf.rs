@@ -302,6 +302,49 @@ pub fn compare(
     (regressions, missing)
 }
 
+/// One `replay`/`replay-obs` pair breaching the instrumentation
+/// overhead gate ([`obs_overhead`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ObsOverhead {
+    /// The instrumented stage identity ([`StageResult::key`]).
+    pub key: String,
+    /// Uninstrumented (`replay`) median, milliseconds.
+    pub base_ms: f64,
+    /// Instrumented (`replay-obs`) median, milliseconds.
+    pub obs_ms: f64,
+    /// `obs / base` (always `> 1 + max_overhead`).
+    pub ratio: f64,
+}
+
+/// Checks the instrumentation overhead gate within a single report:
+/// every `replay-obs` row is compared against its uninstrumented
+/// `replay` twin (same strategy, same k) and breaches the gate when it
+/// exceeds `base * (1 + max_overhead) + NOISE_FLOOR_MS`. The same
+/// machine and run produce both rows, so no calibration applies.
+/// Returns the breaches plus the keys of `replay-obs` rows with no
+/// `replay` twin (an unpaired row also fails the gate).
+pub fn obs_overhead(report: &PerfReport, max_overhead: f64) -> (Vec<ObsOverhead>, Vec<String>) {
+    let mut breaches = Vec::new();
+    let mut unpaired = Vec::new();
+    for obs in report.stages.iter().filter(|s| s.stage == "replay-obs") {
+        let Some(base) = report.find("replay", obs.strategy.as_deref(), obs.k) else {
+            unpaired.push(obs.key());
+            continue;
+        };
+        if base.median_ms > 0.0
+            && obs.median_ms > base.median_ms * (1.0 + max_overhead) + NOISE_FLOOR_MS
+        {
+            breaches.push(ObsOverhead {
+                key: obs.key(),
+                base_ms: base.median_ms,
+                obs_ms: obs.median_ms,
+                ratio: obs.median_ms / base.median_ms,
+            });
+        }
+    }
+    (breaches, unpaired)
+}
+
 /// How far machine-speed calibration may rescale a baseline. A CI
 /// runner outside this envelope relative to the baseline machine is a
 /// setup problem the gate should surface, not silently normalize away.
@@ -528,6 +571,23 @@ pub fn run(config: &PerfConfig) -> PerfReport {
                 ms,
                 throughput(chain.txs.len(), ms),
             );
+
+            // The instrumented twin of the row above: same runtime, same
+            // workload, with the always-on observability mode collecting
+            // per-shard counters and latency histograms (the O(events)
+            // record stream of `--trace` stays opt-in and is not part of
+            // the ≤5% envelope). The `replay`/`replay-obs` pair feeds
+            // the overhead gate (`obs_overhead`).
+            let (ms, _) = time_stage(config.warmup, config.trials, || {
+                runtime.run_metered(chain.chain.world(), &chain.txs)
+            });
+            push(
+                "replay-obs",
+                Some(name),
+                Some(k),
+                ms,
+                throughput(chain.txs.len(), ms),
+            );
         }
     }
 
@@ -674,6 +734,34 @@ mod tests {
         // but a genuine blow-up on a tiny stage still fails
         let blown = report_with(vec![stage("csr-serial", None, None, 40.0)]);
         assert_eq!(compare(&blown, &baseline, 0.25).0.len(), 1);
+    }
+
+    #[test]
+    fn obs_overhead_gates_replay_pairs() {
+        // 500 ms base: threshold = 500 * 1.05 + 15 = 540 ms
+        let report = report_with(vec![
+            stage("replay", Some("hash"), Some(2), 500.0),
+            stage("replay-obs", Some("hash"), Some(2), 539.0), // fine
+            stage("replay", Some("metis"), Some(2), 500.0),
+            stage("replay-obs", Some("metis"), Some(2), 600.0), // breach
+            stage("replay-obs", Some("metis"), Some(4), 10.0),  // no twin
+        ]);
+        let (breaches, unpaired) = obs_overhead(&report, 0.05);
+        assert_eq!(breaches.len(), 1);
+        assert_eq!(breaches[0].key, "replay-obs/metis/2");
+        assert!((breaches[0].ratio - 1.2).abs() < 1e-9);
+        assert_eq!(unpaired, vec!["replay-obs/metis/4".to_string()]);
+    }
+
+    #[test]
+    fn obs_overhead_noise_floor_absorbs_tiny_replays() {
+        // 10 ms replays jitter by milliseconds; a 2x swing at this size
+        // is noise, which the absolute floor must absorb
+        let report = report_with(vec![
+            stage("replay", Some("hash"), Some(2), 10.0),
+            stage("replay-obs", Some("hash"), Some(2), 20.0),
+        ]);
+        assert!(obs_overhead(&report, 0.05).0.is_empty());
     }
 
     #[test]

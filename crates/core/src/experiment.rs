@@ -39,6 +39,7 @@
 //! ```
 
 use std::sync::{mpsc, Arc};
+use std::time::Instant;
 
 use crossbeam::deque::{Steal, Stealer, Worker};
 
@@ -46,6 +47,7 @@ use blockpart_ethereum::gen::{ChainGenerator, GeneratorConfig};
 use blockpart_ethereum::SyntheticChain;
 use blockpart_graph::InteractionLog;
 use blockpart_metrics::{Json, Table};
+use blockpart_obs::{perfetto, Collector, Record, Trace};
 use blockpart_runtime::{Assignment, RuntimeReport, ShardedRuntime};
 use blockpart_shard::{ShardSimulator, SimulationResult};
 use blockpart_types::{Duration, ShardCount};
@@ -106,6 +108,11 @@ pub struct ExperimentReport {
     pub window: Duration,
     /// All runs, strategy-major in configuration order.
     pub runs: Vec<ExperimentRun>,
+    /// Merged observability trace, present when tracing was enabled
+    /// ([`Experiment::trace`]): pipeline/pair wall spans in process 0
+    /// (one thread lane per pair) plus each replay's virtual-clock 2PC
+    /// trace retagged into its own process lane.
+    pub trace: Option<Trace>,
 }
 
 impl ExperimentReport {
@@ -184,6 +191,18 @@ impl ExperimentReport {
             ]);
         }
         t
+    }
+
+    /// The trace as a Chrome/Perfetto `trace_event` JSON document, when
+    /// tracing was enabled.
+    pub fn trace_perfetto(&self) -> Option<Json> {
+        self.trace.as_ref().map(perfetto::to_perfetto)
+    }
+
+    /// Flat text dump of the collected metrics, when tracing was
+    /// enabled.
+    pub fn metrics_text(&self) -> Option<String> {
+        self.trace.as_ref().map(Trace::metrics_text)
     }
 
     /// Serializes the report as compact JSON.
@@ -358,6 +377,7 @@ pub struct Experiment<'a> {
     seed: u64,
     offline: bool,
     replay: bool,
+    trace: bool,
     net_latency_us: Option<u64>,
     inter_arrival_us: Option<u64>,
 }
@@ -394,6 +414,7 @@ impl<'a> Experiment<'a> {
             seed: 0x45_58_50, // "EXP"
             offline: true,
             replay,
+            trace: false,
             net_latency_us: None,
             inter_arrival_us: None,
         }
@@ -489,6 +510,17 @@ impl<'a> Experiment<'a> {
         self
     }
 
+    /// Enables observability tracing (off by default). The report then
+    /// carries a merged [`Trace`]: wall-clock stage spans per pair
+    /// (`simulate`, `replay`, plus the simulator's `detail`
+    /// sub-spans), each replay's deterministic virtual-clock 2PC trace
+    /// in its own Perfetto process lane, and a metrics registry scoped
+    /// `{strategy}/k{n}/`.
+    pub fn trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
     /// Overrides the replay's one-way inter-shard network latency (µs)
     /// for every strategy, on top of [`StrategySpec::runtime_config`].
     pub fn net_latency_us(mut self, latency: u64) -> Self {
@@ -511,12 +543,34 @@ impl<'a> Experiment<'a> {
     /// configured strategy or shard-count list is empty (a misconfigured
     /// caller should not silently run nothing).
     pub fn run(self) -> ExperimentReport {
+        // One epoch for the whole pipeline so every pair's wall spans
+        // line up on a single timeline.
+        let epoch = self.trace.then(Instant::now);
+        let mut root = match epoch {
+            Some(e) => {
+                let mut t = Trace::new_at(e);
+                t.name_process(0, "experiment pipeline (wall µs)");
+                t.name_thread(0, 0, "pipeline");
+                t
+            }
+            None => Trace::disabled(),
+        };
+
         let generated;
+        let gen_start = root.now_us();
         let (log, chain): (&InteractionLog, Option<&SyntheticChain>) = match &self.workload {
             WorkloadSource::Log(log) => (log, None),
             WorkloadSource::Chain(chain) => (&chain.log, Some(chain)),
             WorkloadSource::Generator(config) => {
                 generated = ChainGenerator::new(config.clone()).generate();
+                if root.enabled() {
+                    let dur = root.now_us() - gen_start;
+                    root.record(
+                        Record::span(gen_start, dur, "stage", "chain-gen")
+                            .with_arg("txs", generated.txs.len())
+                            .with_arg("interactions", generated.log.len()),
+                    );
+                }
                 (&generated.log, Some(&generated))
             }
         };
@@ -562,7 +616,7 @@ impl<'a> Experiment<'a> {
             queues[i % workers].push(i);
         }
         let stealers: Vec<Stealer<usize>> = queues.iter().map(|q| q.stealer()).collect();
-        let (tx, rx) = mpsc::channel::<(usize, ExperimentRun)>();
+        let (tx, rx) = mpsc::channel::<(usize, ExperimentRun, Option<Trace>)>();
         let this = &self;
         crossbeam::thread::scope(|scope| {
             for (me, local) in queues.iter().enumerate() {
@@ -571,9 +625,10 @@ impl<'a> Experiment<'a> {
                 scope.spawn(move |_| {
                     while let Some(i) = next_task(local, stealers, me) {
                         let (spec, requested, k) = pairs[i];
-                        let mut run = this.run_pair(spec.as_ref(), k, log, chain);
+                        let (mut run, sub) =
+                            this.run_pair(spec.as_ref(), k, log, chain, i as u32, epoch);
                         run.requested = requested.clone();
-                        tx.send((i, run)).expect("collector outlives workers");
+                        tx.send((i, run, sub)).expect("collector outlives workers");
                     }
                 });
             }
@@ -581,33 +636,66 @@ impl<'a> Experiment<'a> {
         .expect("experiment worker panicked");
         drop(tx);
 
-        let mut slots: Vec<Option<ExperimentRun>> = Vec::new();
+        let mut slots: Vec<Option<(ExperimentRun, Option<Trace>)>> = Vec::new();
         slots.resize_with(pairs.len(), || None);
-        for (i, run) in rx {
-            slots[i] = Some(run);
+        for (i, run, sub) in rx {
+            slots[i] = Some((run, sub));
+        }
+        let mut runs = Vec::with_capacity(pairs.len());
+        for slot in slots {
+            let (run, sub) = slot.expect("run completed");
+            if let Some(sub) = sub {
+                root.merge(sub);
+            }
+            runs.push(run);
         }
         ExperimentReport {
             seed: self.seed,
             window: self.window,
-            runs: slots
-                .into_iter()
-                .map(|r| r.expect("run completed"))
-                .collect(),
+            runs,
+            trace: self.trace.then_some(root),
         }
     }
 
     /// One strategy at one shard count: simulate, then optionally replay
     /// the chain on the simulation's final assignment.
+    ///
+    /// When tracing (`epoch` set), the pair collects its wall spans on
+    /// thread lane `pair + 1` of process 0 (lane 0 is the pipeline
+    /// itself) and slots the replay's virtual trace into process
+    /// `pair + 1`.
     fn run_pair(
         &self,
         spec: &dyn StrategySpec,
         k: ShardCount,
         log: &InteractionLog,
         chain: Option<&SyntheticChain>,
-    ) -> ExperimentRun {
+        pair: u32,
+        epoch: Option<Instant>,
+    ) -> (ExperimentRun, Option<Trace>) {
+        let mut obs = match epoch {
+            Some(e) => Trace::new_at(e),
+            None => Trace::disabled(),
+        };
+        let label = format!("{} k={}", spec.name(), k.get());
+        let prefix = format!("{}/k{}/", spec.name(), k.get());
+        if obs.enabled() {
+            obs.set_lane(0, pair + 1);
+            obs.name_thread(0, pair + 1, label.clone());
+            obs.set_metric_prefix(prefix.clone());
+        }
+
         let config = spec.simulator_config(k).with_window(self.window);
         let mut sim = ShardSimulator::new(config, spec.build_partitioner(self.seed));
-        let result = sim.run(log);
+        let sim_start = obs.now_us();
+        let result = sim.run_traced(log, &mut obs);
+        if obs.enabled() {
+            let dur = obs.now_us() - sim_start;
+            obs.record(
+                Record::span(sim_start, dur, "stage", "simulate").with_arg("pair", label.clone()),
+            );
+        }
+
         let runtime = if self.replay {
             let chain = chain.expect("checked in run()");
             let assignment = Assignment::from_map(sim.into_state().assignment_map(), k);
@@ -619,17 +707,34 @@ impl<'a> Experiment<'a> {
             if let Some(gap) = self.inter_arrival_us {
                 cfg = cfg.with_inter_arrival_us(gap);
             }
-            Some(ShardedRuntime::new(cfg, assignment).run(chain.chain.world(), &chain.txs))
+            let runtime = ShardedRuntime::new(cfg, assignment);
+            if obs.enabled() {
+                let replay_start = obs.now_us();
+                let (rep, mut virt) = runtime.run_traced(chain.chain.world(), &chain.txs);
+                let dur = obs.now_us() - replay_start;
+                obs.record(
+                    Record::span(replay_start, dur, "stage", "replay")
+                        .with_arg("pair", label.clone()),
+                );
+                virt.retag_process(pair + 1);
+                virt.name_process(pair + 1, format!("{label} replay (virtual µs)"));
+                virt.prefix_metrics(&prefix);
+                obs.merge(virt);
+                Some(rep)
+            } else {
+                Some(runtime.run(chain.chain.world(), &chain.txs))
+            }
         } else {
             None
         };
-        ExperimentRun {
+        let run = ExperimentRun {
             strategy: spec.name().to_string(),
             requested: None, // filled in by run() from the pair table
             k,
             offline: self.offline.then_some(result),
             runtime,
-        }
+        };
+        (run, epoch.map(|_| obs))
     }
 }
 

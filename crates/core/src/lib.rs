@@ -42,12 +42,14 @@ pub mod ablation;
 mod experiment;
 pub mod experiments;
 mod methods;
+mod profile;
 mod runtime_study;
 mod strategy;
 mod study;
 
 pub use experiment::{Experiment, ExperimentReport, ExperimentRun};
 pub use methods::Method;
+pub use profile::{run_profile, ProfileReport};
 pub use runtime_study::{runtime_table, RuntimeRun, RuntimeStudy, RuntimeStudyResult};
 pub use strategy::{
     CanonicalStrategy, ResolvedStrategy, StrategyError, StrategyFactory, StrategyParams,

@@ -92,6 +92,69 @@ impl LogHistogram {
             .map(|(i, &c)| (1u64 << i, c))
     }
 
+    /// The `q`-th percentile (`q` in `[0, 1]`), estimated from the log
+    /// bins by linear interpolation within the containing bin and clamped
+    /// to the observed maximum. Exact for the zero bin; within a factor
+    /// of 2 elsewhere — the right resolution for latency percentiles
+    /// (p50/p99 in µs) where the bin edge, not the third digit, carries
+    /// the signal. Returns 0 when empty.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use blockpart_metrics::LogHistogram;
+    ///
+    /// let h: LogHistogram = (1u64..=1000).collect();
+    /// let p50 = h.percentile(0.50);
+    /// assert!((400..=600).contains(&p50), "p50 = {p50}");
+    /// assert_eq!(h.percentile(1.0), 1000);
+    /// ```
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the requested observation.
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        if rank <= self.zero {
+            return 0;
+        }
+        let mut seen = self.zero;
+        for (i, &count) in self.bins.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            if rank <= seen + count {
+                let lower = 1u64 << i;
+                let upper = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                let upper = upper.min(self.max);
+                // Position of the rank inside this bin, in (0, 1].
+                let frac = (rank - seen) as f64 / count as f64;
+                return lower + ((upper - lower) as f64 * frac).round() as u64;
+            }
+            seen += count;
+        }
+        self.max
+    }
+
+    /// Folds another histogram into this one (bin-wise addition).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        self.zero += other.zero;
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        if self.bins.len() < other.bins.len() {
+            self.bins.resize(other.bins.len(), 0);
+        }
+        for (mine, theirs) in self.bins.iter_mut().zip(&other.bins) {
+            *mine += theirs;
+        }
+    }
+
     fn bin_of(value: u64) -> usize {
         (63 - value.leading_zeros()) as usize
     }
@@ -144,5 +207,41 @@ mod tests {
         assert_eq!(h.count(), 0);
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.bins().count(), 0);
+        assert_eq!(h.percentile(0.5), 0);
+    }
+
+    #[test]
+    fn percentile_zero_bin_and_extremes() {
+        let h: LogHistogram = [0u64, 0, 0, 8, 9, 10].into_iter().collect();
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.percentile(0.5), 0); // rank 3 of 6 is still a zero
+        assert_eq!(h.percentile(1.0), 10); // clamped to observed max
+                                           // All observations in one bin [8, 16): estimates stay in-bin.
+        let p75 = h.percentile(0.75);
+        assert!((8..=10).contains(&p75), "p75 = {p75}");
+    }
+
+    #[test]
+    fn percentile_is_monotone() {
+        let h: LogHistogram = (0u64..500).map(|i| i * 17 % 4096).collect();
+        let mut last = 0;
+        for i in 0..=20 {
+            let p = h.percentile(i as f64 / 20.0);
+            assert!(p >= last, "percentile not monotone at {i}");
+            last = p;
+        }
+        assert_eq!(last, h.max());
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let a: LogHistogram = [0u64, 1, 5, 100].into_iter().collect();
+        let b: LogHistogram = [3u64, 5, 7000].into_iter().collect();
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let direct: LogHistogram = [0u64, 1, 5, 100, 3, 5, 7000].into_iter().collect();
+        assert_eq!(merged, direct);
+        assert_eq!(merged.count(), 7);
+        assert_eq!(merged.max(), 7000);
     }
 }

@@ -19,7 +19,15 @@
 //! ```
 
 /// A JSON value tree.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// Equality is numeric across the two exact-integer variants: a JSON
+/// number has no signedness, so `Json::Int(5) == Json::UInt(5)`. This
+/// keeps parse/render round-trips stable — the parser normalises any
+/// non-negative integer (including `-0`) to [`Json::UInt`], while builder
+/// code may have produced the same number through `From<i64>`. Floats
+/// ([`Json::Num`]) stay a distinct type: `Num(5.0)` renders as `5.0`, not
+/// `5`, and never equals an integer variant.
+#[derive(Clone, Debug)]
 pub enum Json {
     /// `null`.
     Null,
@@ -224,6 +232,25 @@ impl Json {
     }
 }
 
+impl PartialEq for Json {
+    fn eq(&self, other: &Json) -> bool {
+        match (self, other) {
+            (Json::Null, Json::Null) => true,
+            (Json::Bool(a), Json::Bool(b)) => a == b,
+            (Json::Num(a), Json::Num(b)) => a == b,
+            (Json::Str(a), Json::Str(b)) => a == b,
+            (Json::Arr(a), Json::Arr(b)) => a == b,
+            (Json::Obj(a), Json::Obj(b)) => a == b,
+            (Json::Int(a), Json::Int(b)) => a == b,
+            (Json::UInt(a), Json::UInt(b)) => a == b,
+            (Json::Int(i), Json::UInt(u)) | (Json::UInt(u), Json::Int(i)) => {
+                u64::try_from(*i) == Ok(*u)
+            }
+            _ => false,
+        }
+    }
+}
+
 struct Parser<'a> {
     bytes: &'a [u8],
     at: usize,
@@ -326,6 +353,28 @@ impl Parser<'_> {
         }
     }
 
+    /// Reads exactly four hex digits of a `\u` escape. Strict: the JSON
+    /// grammar allows only `[0-9A-Fa-f]{4}`, so the `+`/`-`/whitespace
+    /// leniency of `u32::from_str_radix` must not leak in.
+    fn hex4(&mut self) -> Result<u32, String> {
+        let digits = self
+            .bytes
+            .get(self.at..self.at + 4)
+            .filter(|d| d.iter().all(u8::is_ascii_hexdigit))
+            .ok_or_else(|| format!("bad \\u escape at byte {}", self.at))?;
+        let mut code = 0u32;
+        for &d in digits {
+            let nibble = match d {
+                b'0'..=b'9' => u32::from(d - b'0'),
+                b'a'..=b'f' => u32::from(d - b'a') + 10,
+                _ => u32::from(d.to_ascii_lowercase() - b'a') + 10,
+            };
+            code = code << 4 | nibble;
+        }
+        self.at += 4;
+        Ok(code)
+    }
+
     fn string(&mut self) -> Result<String, String> {
         self.expect(b'"')?;
         let mut out = String::new();
@@ -362,14 +411,7 @@ impl Parser<'_> {
                         b'r' => out.push('\r'),
                         b't' => out.push('\t'),
                         b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.at..self.at + 4)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.at))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| format!("bad \\u escape at byte {}", self.at))?;
-                            self.at += 4;
+                            let code = self.hex4()?;
                             // Surrogate pairs: JSON encodes astral chars as
                             // two \u escapes.
                             let c = if (0xD800..0xDC00).contains(&code) {
@@ -377,14 +419,7 @@ impl Parser<'_> {
                                     return Err(format!("unpaired surrogate at byte {}", self.at));
                                 }
                                 self.at += 2;
-                                let hex2 = self
-                                    .bytes
-                                    .get(self.at..self.at + 4)
-                                    .and_then(|h| std::str::from_utf8(h).ok())
-                                    .ok_or_else(|| format!("bad \\u escape at byte {}", self.at))?;
-                                let low = u32::from_str_radix(hex2, 16)
-                                    .map_err(|_| format!("bad \\u escape at byte {}", self.at))?;
-                                self.at += 4;
+                                let low = self.hex4()?;
                                 if !(0xDC00..0xE000).contains(&low) {
                                     return Err(format!("unpaired surrogate at byte {}", self.at));
                                 }
@@ -428,7 +463,12 @@ impl Parser<'_> {
                 return Ok(Json::UInt(u));
             }
             if let Ok(i) = text.parse::<i64>() {
-                return Ok(Json::Int(i));
+                // Normalise `-0` (and any other non-negative spelling that
+                // failed the u64 path) so reserialization is a fixed point.
+                return Ok(match u64::try_from(i) {
+                    Ok(u) => Json::UInt(u),
+                    Err(_) => Json::Int(i),
+                });
             }
         }
         text.parse::<f64>()

@@ -1,0 +1,204 @@
+//! Property tests for `Json` parse/render round-trips.
+//!
+//! Trace export (blockpart-obs) serialises arbitrary span names — user
+//! strategy labels, addresses, abort causes — through `Json::Str`, so the
+//! builder/parser pair must survive any `String` content: quotes,
+//! backslashes, control characters, astral-plane unicode, and any mix of
+//! raw and `\uXXXX`-escaped source forms.
+//!
+//! The offline proptest shim has no string strategy, so strings are built
+//! from generated integers mapped through a palette of hostile characters
+//! plus the full scalar-value space.
+
+use blockpart_metrics::Json;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Maps a generated integer to a character, biased towards the cases that
+/// break naive escapers: quotes, backslashes, C0 controls, DEL, BMP
+/// boundary points next to the surrogate range, and astral-plane chars.
+fn char_of(raw: u64) -> char {
+    const PALETTE: &[char] = &[
+        '"',
+        '\\',
+        '/',
+        '\n',
+        '\r',
+        '\t',
+        '\u{0}',
+        '\u{1}',
+        '\u{8}',
+        '\u{b}',
+        '\u{c}',
+        '\u{1f}',
+        '\u{7f}',
+        ' ',
+        'a',
+        'é',
+        'ß',
+        '\u{d7ff}',
+        '\u{e000}',
+        '\u{fffd}',
+        '\u{ffff}',
+        '\u{1f600}',
+        '\u{10000}',
+        '\u{10ffff}',
+    ];
+    if raw.is_multiple_of(2) {
+        PALETTE[(raw / 2) as usize % PALETTE.len()]
+    } else {
+        // Any scalar value: fold into [0, 0x110000) and skip surrogates.
+        let code = ((raw / 2) % 0x11_0000) as u32;
+        char::from_u32(code).unwrap_or('\u{fffd}')
+    }
+}
+
+fn string_of(raws: &[u64]) -> String {
+    raws.iter().map(|&r| char_of(r)).collect()
+}
+
+/// Deterministically folds a flat integer stream into a `Json` tree so the
+/// shim (which has no recursive/boxed strategies) can still exercise
+/// nested documents.
+fn json_of(raws: &[u64], depth: usize) -> Json {
+    let pick = raws.first().copied().unwrap_or(0);
+    let rest = raws.get(1..).unwrap_or(&[]);
+    let variant = if depth == 0 { pick % 6 } else { pick % 8 };
+    match variant {
+        0 => Json::Null,
+        1 => Json::Bool(pick % 3 == 0),
+        2 => Json::UInt(pick),
+        3 => Json::Int(pick as i64),
+        4 => {
+            // Round-trippable floats: f64 render/parse is exact for any
+            // finite value, so derive one from the raw bits when finite.
+            let f = f64::from_bits(pick);
+            Json::Num(if f.is_finite() { f } else { pick as f64 / 7.0 })
+        }
+        5 => Json::Str(string_of(&rest[..rest.len().min(8)])),
+        6 => Json::arr(
+            rest.chunks(3)
+                .take(4)
+                .map(|c| json_of(c, depth - 1))
+                .collect::<Vec<_>>(),
+        ),
+        _ => Json::obj(
+            rest.chunks(4)
+                .take(4)
+                .map(|c| {
+                    (
+                        string_of(&c[..c.len().min(2)]),
+                        json_of(&c[2.min(c.len())..], depth - 1),
+                    )
+                })
+                .collect::<Vec<_>>(),
+        ),
+    }
+}
+
+/// Renders `s` as a JSON string literal using a randomly chosen source
+/// form per character: raw, `\uXXXX` escapes (surrogate pairs for astral
+/// chars, mixed hex case), or the short escapes where one exists.
+fn adversarial_literal(s: &str, choices: &[u64]) -> String {
+    let mut out = String::from('"');
+    for (i, c) in s.chars().enumerate() {
+        let choice = choices.get(i % choices.len().max(1)).copied().unwrap_or(0);
+        let code = c as u32;
+        let must_escape = matches!(c, '"' | '\\') || code < 0x20;
+        match choice % 3 {
+            0 if !must_escape => out.push(c),
+            1 => {
+                // Short escapes where JSON defines one.
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '/' => out.push_str("\\/"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    '\u{8}' => out.push_str("\\b"),
+                    '\u{c}' => out.push_str("\\f"),
+                    _ => push_u_escape(&mut out, code, choice),
+                }
+            }
+            _ => push_u_escape(&mut out, code, choice),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn push_u_escape(out: &mut String, code: u32, choice: u64) {
+    let hex = |out: &mut String, unit: u32| {
+        if choice.is_multiple_of(2) {
+            out.push_str(&format!("\\u{unit:04x}"));
+        } else {
+            out.push_str(&format!("\\u{unit:04X}"));
+        }
+    };
+    if code >= 0x10000 {
+        let v = code - 0x10000;
+        hex(out, 0xD800 + (v >> 10));
+        hex(out, 0xDC00 + (v & 0x3FF));
+    } else {
+        hex(out, code);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn string_value_roundtrips(raws in vec(any::<u64>(), 0..24)) {
+        let doc = Json::Str(string_of(&raws));
+        for rendered in [doc.render(), doc.render_pretty()] {
+            let reparsed = Json::parse(&rendered)
+                .unwrap_or_else(|e| panic!("parse failed on {rendered:?}: {e}"));
+            prop_assert_eq!(&reparsed, &doc, "via {:?}", rendered);
+        }
+    }
+
+    #[test]
+    fn escaped_source_forms_parse_and_reserialize(raws in vec(any::<u64>(), 1..16),
+                                                  choices in vec(any::<u64>(), 1..16)) {
+        let s = string_of(&raws);
+        let literal = adversarial_literal(&s, &choices);
+        let parsed = Json::parse(&literal)
+            .unwrap_or_else(|e| panic!("parse failed on {literal:?}: {e}"));
+        prop_assert_eq!(parsed.as_str(), Some(s.as_str()), "via {:?}", literal);
+        // Parse → reserialize → parse must be a fixed point.
+        let rendered = parsed.render();
+        let again = Json::parse(&rendered)
+            .unwrap_or_else(|e| panic!("reparse failed on {rendered:?}: {e}"));
+        prop_assert_eq!(again, parsed, "via {:?}", rendered);
+    }
+
+    #[test]
+    fn document_roundtrips(raws in vec(any::<u64>(), 0..48)) {
+        let doc = json_of(&raws, 2);
+        for rendered in [doc.render(), doc.render_pretty()] {
+            let reparsed = Json::parse(&rendered)
+                .unwrap_or_else(|e| panic!("parse failed on {rendered:?}: {e}"));
+            prop_assert_eq!(&reparsed, &doc, "via {:?}", rendered);
+            // Reserialization is a fixed point (stable for diffing).
+            prop_assert_eq!(reparsed.render(), doc.render());
+        }
+    }
+}
+
+/// The regression the fuzzing originally surfaced, pinned as plain tests.
+#[test]
+fn negative_zero_integer_normalizes() {
+    // `-0` must not flip variants across a parse → render → parse cycle.
+    let first = Json::parse("-0").unwrap();
+    let second = Json::parse(&first.render()).unwrap();
+    assert_eq!(first, second);
+}
+
+#[test]
+fn plus_prefixed_u_escape_is_rejected() {
+    // `u32::from_str_radix` accepts a leading `+`; the JSON grammar does
+    // not ("\u+041" is not four hex digits).
+    assert!(Json::parse(r#""\u+041""#).is_err());
+    assert!(Json::parse(r#""\ud83d\u+e00""#).is_err());
+}

@@ -1,0 +1,179 @@
+//! Deterministic tracing and metrics for the partitioning study.
+//!
+//! The paper's claims (conf_dsn_FynnP18) are cost claims — cross-shard
+//! coordination, abort behaviour, repartitioning expense — and this crate
+//! is the substrate that makes those costs visible *inside* a run rather
+//! than only as end-of-run aggregates. It is hand-rolled and
+//! dependency-free (the workspace builds offline) in the style of
+//! `third_party/`.
+//!
+//! Three pieces:
+//!
+//! * **Spans and events** — [`Trace`] collects [`Record`]s via the
+//!   [`Collector`] trait and the [`span!`]/[`event!`] macros. Records
+//!   carry the clock domain they were stamped in: the discrete-event
+//!   runtime stamps with its **virtual clock** (via
+//!   [`Trace::span_at`]/[`Trace::instant_at`]), so runtime traces are
+//!   byte-identical across worker counts and machines; pipeline code
+//!   outside the engine stamps with monotonic wall time.
+//! * **Metrics** — [`MetricsRegistry`] holds counters, gauges and
+//!   µs-latency histograms ([`blockpart_metrics::LogHistogram`] with
+//!   percentile queries), name-scoped per shard / strategy / stage by
+//!   plain `/`-separated prefixes.
+//! * **Exporters** — [`perfetto::to_perfetto`] renders Chrome/Perfetto
+//!   `trace_event` JSON (openable at `ui.perfetto.dev`),
+//!   [`perfetto::validate`] checks a document against the schema, and
+//!   [`MetricsRegistry::render_text`] dumps flat metrics.
+//!
+//! # Examples
+//!
+//! ```
+//! use blockpart_obs::{event, span, Collector, Trace};
+//!
+//! let mut obs = Trace::new();
+//! let answer = span!(&mut obs, "compute", { 6u64 * 7 });
+//! event!(&mut obs, "done", "answer" => answer);
+//! obs.add("computations", 1);
+//! assert_eq!(answer, 42);
+//! assert_eq!(obs.records().len(), 2);
+//! let doc = blockpart_obs::perfetto::to_perfetto(&obs);
+//! assert!(blockpart_obs::perfetto::validate(&doc).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod perfetto;
+pub mod profile;
+mod registry;
+mod trace;
+
+pub use registry::MetricsRegistry;
+pub use trace::{Arg, ClockDomain, Record, Stopwatch, Trace};
+
+/// The sink side of the instrumentation API.
+///
+/// Implemented by [`Trace`] (buffering collector) and [`Noop`]
+/// (discards everything); instrumented code takes `&mut impl Collector`
+/// or is generic over it so the disabled path costs one branch.
+pub trait Collector {
+    /// Whether records are kept. Instrumented code should gate any
+    /// argument formatting on this so disabled runs pay nothing.
+    fn enabled(&self) -> bool;
+
+    /// Whether per-event [`Record`]s are kept. Metrics-only collectors
+    /// ([`Trace::metrics_only`]) report `enabled()` but not `events()`:
+    /// counters and histograms accumulate while the O(events) record
+    /// stream — the expensive part — is skipped. Code recording in hot
+    /// loops should gate on this, not on `enabled()`.
+    fn events(&self) -> bool {
+        self.enabled()
+    }
+
+    /// Monotonic wall-clock microseconds since this collector's epoch
+    /// (0 when disabled or for virtual-clock collectors).
+    fn now_us(&self) -> u64;
+
+    /// Stores one record, stamping it with the collector's current lane
+    /// and clock domain.
+    fn record(&mut self, record: Record);
+
+    /// Increments a counter.
+    fn add(&mut self, counter: &str, by: u64);
+
+    /// Sets a gauge.
+    fn gauge(&mut self, name: &str, value: f64);
+
+    /// Records one observation into a µs-latency histogram.
+    fn observe_us(&mut self, histogram: &str, value_us: u64);
+}
+
+/// A collector that discards everything (for uninstrumented runs).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Noop;
+
+impl Collector for Noop {
+    fn enabled(&self) -> bool {
+        false
+    }
+    fn now_us(&self) -> u64 {
+        0
+    }
+    fn record(&mut self, _record: Record) {}
+    fn add(&mut self, _counter: &str, _by: u64) {}
+    fn gauge(&mut self, _name: &str, _value: f64) {}
+    fn observe_us(&mut self, _histogram: &str, _value_us: u64) {}
+}
+
+/// Times a block with the collector's wall clock and records it as a
+/// complete span.
+///
+/// The block's value is returned. The default category is `"stage"`
+/// (what [`profile`] aggregates); pass `cat: "..."` for sub-stage
+/// detail spans that should not count towards top-level coverage.
+///
+/// ```
+/// use blockpart_obs::{span, Trace};
+///
+/// let mut obs = Trace::new();
+/// let n = span!(&mut obs, "outer", {
+///     span!(&mut obs, cat: "detail", "inner", { 2 + 2 })
+/// });
+/// assert_eq!(n, 4);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($obs:expr, $name:expr, $body:expr) => {
+        $crate::span!($obs, cat: "stage", $name, $body)
+    };
+    ($obs:expr, cat: $cat:expr, $name:expr, $body:expr) => {{
+        let __obs_start = $crate::Collector::now_us(&*$obs);
+        let __obs_out = $body;
+        if $crate::Collector::enabled(&*$obs) {
+            let __obs_end = $crate::Collector::now_us(&*$obs);
+            $crate::Collector::record(
+                &mut *$obs,
+                $crate::Record::span(
+                    __obs_start,
+                    __obs_end.saturating_sub(__obs_start),
+                    $cat,
+                    $name,
+                ),
+            );
+        }
+        __obs_out
+    }};
+}
+
+/// Records an instant event, at the wall clock by default or at an
+/// explicit (virtual) timestamp with `@at ts`.
+///
+/// ```
+/// use blockpart_obs::{event, Trace};
+///
+/// let mut obs = Trace::new_virtual();
+/// event!(&mut obs, @at 1500, "2pc.abort", "tx" => 7u64, "cause" => "lock-conflict");
+/// assert_eq!(obs.records()[0].ts_us, 1500);
+/// ```
+#[macro_export]
+macro_rules! event {
+    ($obs:expr, @at $ts:expr, $name:expr $(, $key:expr => $value:expr)* $(,)?) => {
+        if $crate::Collector::enabled(&*$obs) {
+            $crate::Collector::record(
+                &mut *$obs,
+                $crate::Record::instant($ts, "event", $name)
+                    $(.with_arg($key, $value))*,
+            );
+        }
+    };
+    ($obs:expr, $name:expr $(, $key:expr => $value:expr)* $(,)?) => {
+        if $crate::Collector::enabled(&*$obs) {
+            let __obs_now = $crate::Collector::now_us(&*$obs);
+            $crate::Collector::record(
+                &mut *$obs,
+                $crate::Record::instant(__obs_now, "event", $name)
+                    $(.with_arg($key, $value))*,
+            );
+        }
+    };
+}

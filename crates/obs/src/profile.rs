@@ -1,0 +1,139 @@
+//! Self-profile aggregation: stage spans → a time-breakdown table.
+
+use blockpart_metrics::Table;
+
+use crate::Trace;
+
+/// One aggregated pipeline stage.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageRow {
+    /// Span name.
+    pub name: String,
+    /// Number of spans aggregated.
+    pub calls: u64,
+    /// Summed span duration in µs.
+    pub total_us: u64,
+}
+
+/// Sums complete spans of category `cat` by name, in first-seen order.
+///
+/// Top-level pipeline stages use category `"stage"` and are disjoint in
+/// time, so their sum is comparable against total wall time; sub-stage
+/// breakdowns use `"detail"` (they nest inside stages and would double
+/// count).
+pub fn aggregate(trace: &Trace, cat: &str) -> Vec<StageRow> {
+    let mut rows: Vec<StageRow> = Vec::new();
+    for record in trace.records() {
+        let Some(dur) = record.dur_us else { continue };
+        if record.cat != cat {
+            continue;
+        }
+        match rows.iter_mut().find(|r| r.name == record.name) {
+            Some(row) => {
+                row.calls += 1;
+                row.total_us += dur;
+            }
+            None => rows.push(StageRow {
+                name: record.name.clone(),
+                calls: 1,
+                total_us: dur,
+            }),
+        }
+    }
+    rows
+}
+
+/// Fraction of `wall_us` the rows account for (0 when `wall_us` is 0).
+pub fn coverage(rows: &[StageRow], wall_us: u64) -> f64 {
+    if wall_us == 0 {
+        return 0.0;
+    }
+    rows.iter().map(|r| r.total_us).sum::<u64>() as f64 / wall_us as f64
+}
+
+/// Renders stage rows (and their `detail` sub-rows, indented) as a
+/// `stage | calls | time | % of total` table, stages sorted by time
+/// descending.
+pub fn table(rows: &[StageRow], details: &[StageRow], wall_us: u64) -> Table {
+    let mut sorted: Vec<&StageRow> = rows.iter().collect();
+    sorted.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.name.cmp(&b.name)));
+    let mut t = Table::new(vec!["stage", "calls", "time (ms)", "% of total"]);
+    let pct = |us: u64| {
+        if wall_us == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.1}%", 100.0 * us as f64 / wall_us as f64)
+        }
+    };
+    for row in sorted {
+        t.row(vec![
+            row.name.clone(),
+            row.calls.to_string(),
+            format!("{:.2}", row.total_us as f64 / 1000.0),
+            pct(row.total_us),
+        ]);
+        // Sub-stage details are named "<stage>/<part>".
+        let prefix = format!("{}/", row.name);
+        for d in details.iter().filter(|d| d.name.starts_with(&prefix)) {
+            t.row(vec![
+                format!("  {}", d.name),
+                d.calls.to_string(),
+                format!("{:.2}", d.total_us as f64 / 1000.0),
+                pct(d.total_us),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spanned(spans: &[(&str, &'static str, u64)]) -> Trace {
+        let mut t = Trace::new_virtual();
+        let mut at = 0;
+        for &(name, cat, dur) in spans {
+            t.span_at(at, dur, cat, name);
+            at += dur;
+        }
+        t
+    }
+
+    #[test]
+    fn aggregates_by_name_in_first_seen_order() {
+        let t = spanned(&[
+            ("gen", "stage", 100),
+            ("sim", "stage", 300),
+            ("sim", "stage", 200),
+            ("sim/partition", "detail", 150),
+        ]);
+        let rows = aggregate(&t, "stage");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "gen");
+        assert_eq!(
+            rows[1],
+            StageRow {
+                name: "sim".into(),
+                calls: 2,
+                total_us: 500
+            }
+        );
+        assert!((coverage(&rows, 600) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_sorts_and_nests_details() {
+        let t = spanned(&[
+            ("gen", "stage", 100),
+            ("sim", "stage", 500),
+            ("sim/partition", "detail", 400),
+        ]);
+        let rendered = table(&aggregate(&t, "stage"), &aggregate(&t, "detail"), 600).render_ascii();
+        let sim = rendered.find("sim ").unwrap();
+        let part = rendered.find("  sim/partition").unwrap();
+        let gen = rendered.find("gen").unwrap();
+        assert!(sim < part && part < gen, "{rendered}");
+        assert!(rendered.contains("83.3%"), "{rendered}");
+    }
+}

@@ -1,0 +1,197 @@
+//! The counters/gauges/histograms registry.
+
+use std::collections::BTreeMap;
+
+use blockpart_metrics::LogHistogram;
+
+/// Named counters, gauges and µs-latency histograms.
+///
+/// Names are flat strings; scope (shard, strategy, pipeline stage) is
+/// encoded by `/`-separated prefixes (`"metis/k4/shard-0/commits"`),
+/// usually applied via `Trace::set_metric_prefix`. Storage is ordered,
+/// so every rendering is deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use blockpart_obs::MetricsRegistry;
+///
+/// let mut m = MetricsRegistry::new();
+/// m.add("shard-0/commits", 3);
+/// m.observe_us("shard-0/commit_latency_us", 1800);
+/// assert_eq!(m.counter("shard-0/commits"), 3);
+/// assert!(m.render_text().contains("hist    shard-0/commit_latency_us"));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, LogHistogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Increments a counter. Allocates the key only on first sight, so
+    /// steady-state updates in hot loops stay allocation-free.
+    pub fn add(&mut self, counter: &str, by: u64) {
+        match self.counters.get_mut(counter) {
+            Some(v) => *v += by,
+            None => {
+                self.counters.insert(counter.to_string(), by);
+            }
+        }
+    }
+
+    /// Sets a gauge (last write wins).
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        match self.gauges.get_mut(name) {
+            Some(v) => *v = value,
+            None => {
+                self.gauges.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    /// Records one µs observation into a latency histogram.
+    pub fn observe_us(&mut self, histogram: &str, value_us: u64) {
+        match self.histograms.get_mut(histogram) {
+            Some(h) => h.record(value_us),
+            None => {
+                let mut h = LogHistogram::default();
+                h.record(value_us);
+                self.histograms.insert(histogram.to_string(), h);
+            }
+        }
+    }
+
+    /// A counter's value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A gauge's value.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// A latency histogram, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&LogHistogram> {
+        self.histograms.get(name)
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Folds another registry into this one: counters add, gauges take
+    /// the other's value, histograms merge bin-wise.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Prepends `prefix` to every recorded metric name.
+    pub fn prefix_names(&mut self, prefix: &str) {
+        self.counters = std::mem::take(&mut self.counters)
+            .into_iter()
+            .map(|(k, v)| (format!("{prefix}{k}"), v))
+            .collect();
+        self.gauges = std::mem::take(&mut self.gauges)
+            .into_iter()
+            .map(|(k, v)| (format!("{prefix}{k}"), v))
+            .collect();
+        self.histograms = std::mem::take(&mut self.histograms)
+            .into_iter()
+            .map(|(k, v)| (format!("{prefix}{k}"), v))
+            .collect();
+    }
+
+    /// Flat text dump, one metric per line, sorted by kind then name:
+    ///
+    /// ```text
+    /// counter shard-0/commits 41
+    /// gauge   shard-0/utilization 0.83
+    /// hist    shard-0/commit_latency_us count=41 mean=2170.5 p50=1900 p90=4000 p99=7900 max=8123
+    /// ```
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            out.push_str(&format!("counter {name} {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            out.push_str(&format!("gauge   {name} {value}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "hist    {name} count={} mean={:.1} p50={} p90={} p99={} max={}\n",
+                h.count(),
+                h.mean(),
+                h.percentile(0.50),
+                h.percentile(0.90),
+                h.percentile(0.99),
+                h.max(),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_missing_reads_zero() {
+        let mut m = MetricsRegistry::new();
+        m.add("a", 1);
+        m.add("a", 2);
+        assert_eq!(m.counter("a"), 3);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn merge_combines_all_kinds() {
+        let mut a = MetricsRegistry::new();
+        a.add("c", 1);
+        a.gauge("g", 1.0);
+        a.observe_us("h", 10);
+        let mut b = MetricsRegistry::new();
+        b.add("c", 2);
+        b.gauge("g", 2.0);
+        b.observe_us("h", 1000);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.gauge_value("g"), Some(2.0));
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn render_text_is_sorted_and_stable() {
+        let mut m = MetricsRegistry::new();
+        m.add("z/late", 1);
+        m.add("a/early", 1);
+        m.gauge("mid", 0.5);
+        let text = m.render_text();
+        let a = text.find("a/early").unwrap();
+        let z = text.find("z/late").unwrap();
+        assert!(a < z);
+        assert_eq!(text, m.render_text());
+    }
+}

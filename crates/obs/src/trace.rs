@@ -1,0 +1,484 @@
+//! The buffering trace collector and its record type.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use crate::{Collector, MetricsRegistry};
+
+/// Which clock stamped a record.
+///
+/// Virtual records are deterministic — the discrete-event engine's clock
+/// advances identically for a given seed and config no matter how many
+/// worker threads execute it — so virtual-only traces diff cleanly
+/// across runs. Wall records measure the host and vary run to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClockDomain {
+    /// Simulated microseconds from the discrete-event engine.
+    Virtual,
+    /// Monotonic host microseconds since the collector's epoch.
+    Wall,
+}
+
+/// One typed span/event argument.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Arg {
+    /// A string value.
+    Str(String),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float.
+    F64(f64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl Arg {
+    /// The argument as a JSON value.
+    pub fn json(&self) -> blockpart_metrics::Json {
+        use blockpart_metrics::Json;
+        match self {
+            Arg::Str(s) => Json::from(s.clone()),
+            Arg::U64(v) => Json::from(*v),
+            Arg::I64(v) => Json::from(*v),
+            Arg::F64(v) => Json::from(*v),
+            Arg::Bool(v) => Json::from(*v),
+        }
+    }
+}
+
+macro_rules! impl_arg_from {
+    ($($t:ty => $variant:ident ($conv:expr)),* $(,)?) => {$(
+        impl From<$t> for Arg {
+            fn from(v: $t) -> Arg {
+                #[allow(clippy::redundant_closure_call)]
+                Arg::$variant(($conv)(v))
+            }
+        }
+    )*};
+}
+
+impl_arg_from! {
+    &str => Str(|v: &str| v.to_string()),
+    String => Str(|v| v),
+    u64 => U64(|v| v),
+    u32 => U64(u64::from),
+    u16 => U64(u64::from),
+    usize => U64(|v| v as u64),
+    i64 => I64(|v| v),
+    f64 => F64(|v| v),
+    bool => Bool(|v| v),
+}
+
+impl From<blockpart_types::ShardId> for Arg {
+    fn from(v: blockpart_types::ShardId) -> Arg {
+        Arg::U64(u64::from(v.as_u16()))
+    }
+}
+
+/// One trace record: a complete span (`dur_us: Some`) or an instant
+/// event (`dur_us: None`).
+///
+/// `process`/`thread` are Perfetto lanes, stamped by the collector when
+/// the record is stored (along with the clock domain), so instrumented
+/// code never tracks where it runs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Record {
+    /// Start (spans) or occurrence (events) timestamp in µs.
+    pub ts_us: u64,
+    /// Span duration in µs; `None` marks an instant event.
+    pub dur_us: Option<u64>,
+    /// Clock domain of `ts_us` (stamped by the collector).
+    pub clock: ClockDomain,
+    /// Perfetto `pid` lane (stamped by the collector).
+    pub process: u32,
+    /// Perfetto `tid` lane (stamped by the collector).
+    pub thread: u32,
+    /// Category: `"stage"` spans feed the self-profile, `"detail"`
+    /// spans are sub-stage breakdowns, everything else is free-form.
+    pub cat: &'static str,
+    /// Span/event name (arbitrary string; escaping is the exporter's
+    /// problem, not the caller's).
+    pub name: String,
+    /// Typed arguments, in insertion order.
+    pub args: Vec<(&'static str, Arg)>,
+}
+
+impl Record {
+    /// A complete span starting at `ts_us` lasting `dur_us`.
+    pub fn span(ts_us: u64, dur_us: u64, cat: &'static str, name: impl Into<String>) -> Record {
+        Record {
+            ts_us,
+            dur_us: Some(dur_us),
+            clock: ClockDomain::Wall,
+            process: 0,
+            thread: 0,
+            cat,
+            name: name.into(),
+            args: Vec::new(),
+        }
+    }
+
+    /// An instant event at `ts_us`.
+    pub fn instant(ts_us: u64, cat: &'static str, name: impl Into<String>) -> Record {
+        Record {
+            dur_us: None,
+            ..Record::span(ts_us, 0, cat, name)
+        }
+    }
+
+    /// Appends one argument (builder style).
+    pub fn with_arg(mut self, key: &'static str, value: impl Into<Arg>) -> Record {
+        self.args.push((key, value.into()));
+        self
+    }
+}
+
+/// A monotonic wall-clock stopwatch in microseconds.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Stopwatch {
+        Stopwatch(Instant::now())
+    }
+
+    /// Microseconds elapsed since [`start`](Self::start).
+    pub fn elapsed_us(&self) -> u64 {
+        self.0.elapsed().as_micros() as u64
+    }
+}
+
+/// The buffering collector: an append-only record buffer plus a metrics
+/// registry.
+///
+/// A disabled trace ([`Trace::disabled`]) keeps nothing and reports
+/// `enabled() == false`, so instrumentation can stay in place at near
+/// zero cost. Traces merge ([`Trace::merge`]) for fan-out patterns:
+/// each runtime worker owns one, and the engine merges them in shard
+/// order and time-sorts, which is deterministic because virtual
+/// timestamps are.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    events: bool,
+    clock: Option<ClockDomain>,
+    lane: (u32, u32),
+    records: Vec<Record>,
+    metrics: MetricsRegistry,
+    metric_prefix: String,
+    scratch: String,
+    process_names: BTreeMap<u32, String>,
+    thread_names: BTreeMap<(u32, u32), String>,
+    epoch: Option<Instant>,
+}
+
+impl Trace {
+    /// An enabled wall-clock trace with its epoch at the call site.
+    pub fn new() -> Trace {
+        Trace {
+            enabled: true,
+            events: true,
+            clock: Some(ClockDomain::Wall),
+            epoch: Some(Instant::now()),
+            ..Trace::default()
+        }
+    }
+
+    /// An enabled virtual-clock trace: callers stamp timestamps
+    /// explicitly ([`span_at`](Self::span_at) /
+    /// [`instant_at`](Self::instant_at) / `event!(.., @at ts, ..)`).
+    pub fn new_virtual() -> Trace {
+        Trace {
+            enabled: true,
+            events: true,
+            clock: Some(ClockDomain::Virtual),
+            ..Trace::default()
+        }
+    }
+
+    /// An enabled collector that keeps counters, gauges and histograms
+    /// but drops per-event [`Record`]s — the always-on observability
+    /// mode. Its cost is O(metric updates) with no per-call allocation,
+    /// which is what the CI overhead gate (`perf --obs-gate`) holds to
+    /// ≤ 5%; the O(events) record stream stays opt-in.
+    pub fn metrics_only() -> Trace {
+        Trace {
+            enabled: true,
+            events: false,
+            ..Trace::default()
+        }
+    }
+
+    /// An enabled wall-clock trace sharing an explicit epoch — for
+    /// fan-out callers whose sub-traces must line up on one timeline.
+    pub fn new_at(epoch: Instant) -> Trace {
+        Trace {
+            epoch: Some(epoch),
+            ..Trace::new()
+        }
+    }
+
+    /// A disabled trace: every operation is a no-op.
+    pub fn disabled() -> Trace {
+        Trace::default()
+    }
+
+    /// An enabled trace when `on`, else a disabled one.
+    pub fn when(on: bool) -> Trace {
+        if on {
+            Trace::new()
+        } else {
+            Trace::disabled()
+        }
+    }
+
+    /// Sets the (process, thread) lane stamped onto subsequent records.
+    pub fn set_lane(&mut self, process: u32, thread: u32) {
+        self.lane = (process, thread);
+    }
+
+    /// Names a Perfetto process lane.
+    pub fn name_process(&mut self, process: u32, name: impl Into<String>) {
+        if self.enabled {
+            self.process_names.insert(process, name.into());
+        }
+    }
+
+    /// Names a Perfetto thread lane.
+    pub fn name_thread(&mut self, process: u32, thread: u32, name: impl Into<String>) {
+        if self.enabled {
+            self.thread_names.insert((process, thread), name.into());
+        }
+    }
+
+    /// Records a complete span at an explicit timestamp (virtual-clock
+    /// instrumentation).
+    pub fn span_at(&mut self, ts_us: u64, dur_us: u64, cat: &'static str, name: impl Into<String>) {
+        self.record(Record::span(ts_us, dur_us, cat, name));
+    }
+
+    /// Records an instant event at an explicit timestamp.
+    pub fn instant_at(&mut self, ts_us: u64, cat: &'static str, name: impl Into<String>) {
+        self.record(Record::instant(ts_us, cat, name));
+    }
+
+    /// The collected records, in insertion order.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Prefix (e.g. `"metis/k4/"`) prepended to every subsequent metric
+    /// name recorded through this collector.
+    pub fn set_metric_prefix(&mut self, prefix: impl Into<String>) {
+        self.metric_prefix = prefix.into();
+    }
+
+    /// Rewrites the process lane of every record and lane name, for
+    /// slotting a merged sub-trace (e.g. one runtime's virtual trace)
+    /// into its own Perfetto process.
+    pub fn retag_process(&mut self, process: u32) {
+        for r in &mut self.records {
+            r.process = process;
+        }
+        self.process_names = self
+            .process_names
+            .values()
+            .map(|n| (process, n.clone()))
+            .collect();
+        self.thread_names = std::mem::take(&mut self.thread_names)
+            .into_iter()
+            .map(|((_, t), n)| ((process, t), n))
+            .collect();
+        self.lane.0 = process;
+    }
+
+    /// Appends another trace's records, lane names and metrics.
+    pub fn merge(&mut self, other: Trace) {
+        if !self.enabled {
+            return;
+        }
+        self.records.extend(other.records);
+        self.process_names.extend(other.process_names);
+        self.thread_names.extend(other.thread_names);
+        self.metrics.merge(&other.metrics);
+    }
+
+    /// Stable-sorts records by timestamp. Called after merging
+    /// per-worker virtual traces: buffers arrive concatenated in shard
+    /// order, each already time-ordered, so the result is deterministic
+    /// (ties keep shard order) no matter how many threads produced them.
+    pub fn sort_by_time(&mut self) {
+        self.records.sort_by_key(|r| r.ts_us);
+    }
+
+    /// A copy holding only virtual-clock records — the deterministic,
+    /// diffable slice of a mixed trace.
+    pub fn virtual_only(&self) -> Trace {
+        let mut out = self.clone();
+        out.records.retain(|r| r.clock == ClockDomain::Virtual);
+        out.epoch = None;
+        out
+    }
+
+    /// Prepends `prefix` to every metric name already recorded — for
+    /// scoping a merged sub-trace's registry (e.g. a replay's
+    /// `shard-0/commits` becoming `metis/k4/shard-0/commits`).
+    pub fn prefix_metrics(&mut self, prefix: &str) {
+        self.metrics.prefix_names(prefix);
+    }
+
+    /// Flat text dump of the metrics registry.
+    pub fn metrics_text(&self) -> String {
+        self.metrics.render_text()
+    }
+
+    pub(crate) fn process_names_for_export(&self) -> Vec<(u32, String)> {
+        self.process_names
+            .iter()
+            .map(|(&p, n)| (p, n.clone()))
+            .collect()
+    }
+
+    pub(crate) fn thread_names_for_export(&self) -> Vec<((u32, u32), String)> {
+        self.thread_names
+            .iter()
+            .map(|(&lane, n)| (lane, n.clone()))
+            .collect()
+    }
+}
+
+impl Trace {
+    /// Builds `prefix + name` in the reusable scratch buffer, so hot
+    /// metric updates never allocate after the first occurrence.
+    fn scoped(scratch: &mut String, prefix: &str, name: &str) {
+        scratch.clear();
+        scratch.push_str(prefix);
+        scratch.push_str(name);
+    }
+}
+
+impl Collector for Trace {
+    fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn events(&self) -> bool {
+        self.enabled && self.events
+    }
+
+    fn now_us(&self) -> u64 {
+        match self.epoch {
+            Some(epoch) => epoch.elapsed().as_micros() as u64,
+            None => 0,
+        }
+    }
+
+    fn record(&mut self, mut record: Record) {
+        if !(self.enabled && self.events) {
+            return;
+        }
+        (record.process, record.thread) = self.lane;
+        if let Some(clock) = self.clock {
+            record.clock = clock;
+        }
+        self.records.push(record);
+    }
+
+    fn add(&mut self, counter: &str, by: u64) {
+        if self.enabled {
+            Self::scoped(&mut self.scratch, &self.metric_prefix, counter);
+            self.metrics.add(&self.scratch, by);
+        }
+    }
+
+    fn gauge(&mut self, name: &str, value: f64) {
+        if self.enabled {
+            Self::scoped(&mut self.scratch, &self.metric_prefix, name);
+            self.metrics.gauge(&self.scratch, value);
+        }
+    }
+
+    fn observe_us(&mut self, histogram: &str, value_us: u64) {
+        if self.enabled {
+            Self::scoped(&mut self.scratch, &self.metric_prefix, histogram);
+            self.metrics.observe_us(&self.scratch, value_us);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_keeps_nothing() {
+        let mut t = Trace::disabled();
+        t.span_at(0, 10, "stage", "x");
+        t.add("c", 1);
+        t.observe_us("h", 5);
+        assert!(t.records().is_empty());
+        assert!(t.metrics().is_empty());
+        assert_eq!(t.now_us(), 0);
+    }
+
+    #[test]
+    fn lane_and_clock_are_stamped() {
+        let mut t = Trace::new_virtual();
+        t.set_lane(3, 7);
+        t.span_at(100, 50, "exec", "tx-1");
+        let r = &t.records()[0];
+        assert_eq!((r.process, r.thread), (3, 7));
+        assert_eq!(r.clock, ClockDomain::Virtual);
+        assert_eq!(r.dur_us, Some(50));
+    }
+
+    #[test]
+    fn merge_sort_and_retag() {
+        let mut a = Trace::new_virtual();
+        a.set_lane(0, 0);
+        a.instant_at(20, "event", "late");
+        a.add("n", 1);
+
+        let mut b = Trace::new_virtual();
+        b.set_lane(0, 1);
+        b.name_thread(0, 1, "shard-1");
+        b.instant_at(10, "event", "early");
+        b.add("n", 2);
+        b.retag_process(5);
+
+        a.merge(b);
+        a.sort_by_time();
+        assert_eq!(a.records()[0].name, "early");
+        assert_eq!(a.records()[0].process, 5);
+        assert_eq!(a.metrics().counter("n"), 3);
+    }
+
+    #[test]
+    fn metric_prefix_scopes_names() {
+        let mut t = Trace::new();
+        t.set_metric_prefix("metis/k4/");
+        t.add("commits", 2);
+        assert_eq!(t.metrics().counter("metis/k4/commits"), 2);
+        assert_eq!(t.metrics().counter("commits"), 0);
+    }
+
+    #[test]
+    fn virtual_only_filters_wall_records() {
+        let mut t = Trace::new();
+        t.record(Record::span(0, 5, "stage", "wall-span"));
+        let mut v = Trace::new_virtual();
+        v.instant_at(3, "event", "virt");
+        t.merge(v);
+        let filtered = t.virtual_only();
+        assert_eq!(filtered.records().len(), 1);
+        assert_eq!(filtered.records()[0].name, "virt");
+    }
+}

@@ -58,7 +58,7 @@ mod traits;
 pub use hashing::HashPartitioner;
 pub use kl::DistributedKl;
 pub use metrics::CutMetrics;
-pub use multilevel::{kway, MultilevelConfig, MultilevelPartitioner, VertexWeighting};
+pub use multilevel::{kway, kway_traced, MultilevelConfig, MultilevelPartitioner, VertexWeighting};
 pub use partition::Partition;
 pub use streaming::{Fennel, LinearGreedy};
 pub use traits::{PartitionRequest, Partitioner};

@@ -18,6 +18,7 @@ pub mod matching;
 pub mod refine;
 
 use blockpart_graph::Csr;
+use blockpart_obs::{Collector, Noop, Record};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -152,6 +153,19 @@ impl Partitioner for MultilevelPartitioner {
 /// exposed for benchmarks that want to sweep configurations without the
 /// trait indirection.
 pub fn kway(csr: &Csr, k: blockpart_types::ShardCount, config: &MultilevelConfig) -> Partition {
+    kway_traced(csr, k, config, &mut Noop)
+}
+
+/// [`kway`] with instrumentation: records wall-clock `detail` spans for
+/// the three phases (`partition/coarsen`, `partition/initial`,
+/// `partition/refine`) into `obs`. The collector never influences the
+/// partition — `kway` is this with a no-op collector.
+pub fn kway_traced<C: Collector>(
+    csr: &Csr,
+    k: blockpart_types::ShardCount,
+    config: &MultilevelConfig,
+    obs: &mut C,
+) -> Partition {
     let n = csr.node_count();
     if n == 0 {
         return Partition::all_on_first(0, k);
@@ -169,6 +183,7 @@ pub fn kway(csr: &Csr, k: blockpart_types::ShardCount, config: &MultilevelConfig
     };
 
     // ---- Phase 1: coarsening -------------------------------------------
+    let coarsen_start = obs.now_us();
     let stop_at = config.coarsen_to.max(20 * k.as_usize());
     let mut levels: Vec<(Csr, Vec<u32>)> = Vec::new(); // (fine graph, fine->coarse map)
     let mut current = base;
@@ -183,8 +198,17 @@ pub fn kway(csr: &Csr, k: blockpart_types::ShardCount, config: &MultilevelConfig
         levels.push((current, map));
         current = coarse;
     }
+    if obs.enabled() {
+        let dur = obs.now_us() - coarsen_start;
+        obs.record(
+            Record::span(coarsen_start, dur, "detail", "partition/coarsen")
+                .with_arg("levels", levels.len())
+                .with_arg("coarsest_vertices", current.node_count()),
+        );
+    }
 
     // ---- Phase 2: initial partitioning on the coarsest graph ------------
+    let initial_start = obs.now_us();
     let mut part = initial::recursive_bisection(&current, k, config, &mut rng);
     let max_weights = refine::max_shard_weights(&current, k, config.imbalance);
     refine::kway_refine(
@@ -194,8 +218,18 @@ pub fn kway(csr: &Csr, k: blockpart_types::ShardCount, config: &MultilevelConfig
         config.refine_passes,
         &mut rng,
     );
+    if obs.enabled() {
+        let dur = obs.now_us() - initial_start;
+        obs.record(Record::span(
+            initial_start,
+            dur,
+            "detail",
+            "partition/initial",
+        ));
+    }
 
     // ---- Phase 3: uncoarsening + refinement ------------------------------
+    let refine_start = obs.now_us();
     for (fine, map) in levels.into_iter().rev() {
         let mut fine_assignment = vec![0u16; fine.node_count()];
         for (v, &c) in map.iter().enumerate() {
@@ -211,6 +245,15 @@ pub fn kway(csr: &Csr, k: blockpart_types::ShardCount, config: &MultilevelConfig
             config.refine_passes,
             &mut rng,
         );
+    }
+    if obs.enabled() {
+        let dur = obs.now_us() - refine_start;
+        obs.record(Record::span(
+            refine_start,
+            dur,
+            "detail",
+            "partition/refine",
+        ));
     }
 
     part

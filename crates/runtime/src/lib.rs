@@ -49,6 +49,7 @@ mod shard_worker;
 use std::collections::{BTreeMap, HashMap};
 
 use blockpart_ethereum::{ExecutedTx, World};
+use blockpart_obs::Trace;
 use blockpart_types::{Address, ShardCount, ShardId};
 
 use crate::clock::EventQueue;
@@ -97,6 +98,11 @@ pub struct RuntimeConfig {
     pub max_attempts: u32,
     /// Entropy seed for the re-executions' `RAND` opcode.
     pub seed: u64,
+    /// Minimum same-instant events before a batch is split across
+    /// worker threads. Purely a wall-clock knob: results and traces are
+    /// identical at any value (0 forces always-parallel, `usize::MAX`
+    /// always-serial — the trace-determinism tests exploit that).
+    pub parallel_batch_threshold: usize,
 }
 
 impl RuntimeConfig {
@@ -113,7 +119,14 @@ impl RuntimeConfig {
             retry_backoff_us: 5_000,
             max_attempts: 64,
             seed: 0,
+            parallel_batch_threshold: PARALLEL_BATCH_THRESHOLD,
         }
+    }
+
+    /// Overrides the parallel batch threshold.
+    pub fn with_parallel_batch_threshold(mut self, threshold: usize) -> Self {
+        self.parallel_batch_threshold = threshold;
+        self
     }
 
     /// Overrides the one-way network latency.
@@ -215,6 +228,15 @@ impl Assignment {
     }
 }
 
+/// How much the engine collects while replaying: nothing, metrics only
+/// (the cheap always-on mode), or the full per-event record stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Detail {
+    Off,
+    Metrics,
+    Events,
+}
+
 /// The sharded execution engine. See the [crate docs](crate) for the
 /// model.
 #[derive(Debug)]
@@ -243,8 +265,52 @@ impl ShardedRuntime {
     /// account and contract state. The `touched` footprints recorded at
     /// canonical execution act as declared access lists.
     pub fn run(&self, world: &World, txs: &[ExecutedTx]) -> RuntimeReport {
+        self.run_inner(world, txs, Detail::Off).0
+    }
+
+    /// Like [`run`](Self::run) with metrics-only instrumentation: the
+    /// per-shard counters and latency histograms accumulate (scoped
+    /// `shard-N/commits`, `shard-N/aborts/<cause>`,
+    /// `shard-N/commit_latency_us`, ...) while the O(events) record
+    /// stream of [`run_traced`](Self::run_traced) is skipped. This is
+    /// the always-on observability mode: its overhead versus
+    /// [`run`](Self::run) is what CI gates at ≤ 5%. The returned trace
+    /// carries the metrics registry and no records.
+    pub fn run_metered(&self, world: &World, txs: &[ExecutedTx]) -> (RuntimeReport, Trace) {
+        self.run_inner(world, txs, Detail::Metrics)
+    }
+
+    /// Like [`run`](Self::run), additionally collecting a virtual-clock
+    /// trace: 2PC lifecycle events (prepare/lock/vote/commit/abort, with
+    /// tx id, shards touched, retry count and abort cause), per-shard
+    /// execute/idle spans, and per-shard metrics.
+    ///
+    /// Every timestamp is simulated time, so for a given config, seed
+    /// and workload the trace is **byte-identical** across worker
+    /// counts, thread schedules and machines — traces diff cleanly.
+    pub fn run_traced(&self, world: &World, txs: &[ExecutedTx]) -> (RuntimeReport, Trace) {
+        self.run_inner(world, txs, Detail::Events)
+    }
+
+    fn run_inner(
+        &self,
+        world: &World,
+        txs: &[ExecutedTx],
+        detail: Detail,
+    ) -> (RuntimeReport, Trace) {
         let records = self.build_records(txs);
         let mut workers = self.build_workers(world);
+        if detail != Detail::Off {
+            for worker in &mut workers {
+                let mut obs = match detail {
+                    Detail::Events => Trace::new_virtual(),
+                    _ => Trace::metrics_only(),
+                };
+                obs.set_lane(0, u32::from(worker.id.as_u16()));
+                obs.set_metric_prefix(format!("{}/", worker.id));
+                worker.obs = obs;
+            }
+        }
         let ctx = Ctx {
             cfg: &self.cfg,
             txs: &records,
@@ -271,7 +337,7 @@ impl ShardedRuntime {
             // threads only pay off when a batch carries real work: typical
             // message batches are 2-3 events of microsecond bookkeeping,
             // which thread spawn/join would dwarf
-            if active <= 1 || batch_len < PARALLEL_BATCH_THRESHOLD {
+            if active <= 1 || batch_len < self.cfg.parallel_batch_threshold {
                 for (slot, (worker, events)) in outs.iter_mut().zip(workers.iter_mut().zip(buckets))
                 {
                     if !events.is_empty() {
@@ -303,7 +369,24 @@ impl ShardedRuntime {
             }
         }
 
-        self.assemble_report(&records, workers)
+        // merge worker trace buffers in shard order, then time-sort:
+        // virtual timestamps make the result independent of how many
+        // threads produced them (ties resolve to shard order)
+        let mut trace = match detail {
+            Detail::Events => Trace::new_virtual(),
+            Detail::Metrics => Trace::metrics_only(),
+            Detail::Off => Trace::disabled(),
+        };
+        if detail != Detail::Off {
+            trace.name_process(0, "replay (virtual µs)");
+            for worker in &mut workers {
+                trace.name_thread(0, u32::from(worker.id.as_u16()), worker.id.to_string());
+                trace.merge(std::mem::replace(&mut worker.obs, Trace::disabled()));
+            }
+            trace.sort_by_time();
+        }
+
+        (self.assemble_report(&records, workers), trace)
     }
 
     /// Precomputes arrival times, homes and per-shard footprints.
@@ -360,6 +443,7 @@ impl ShardedRuntime {
         let mut aborted_rounds = 0u64;
         let mut local_conflicts = 0u64;
         let mut stray_touches = 0u64;
+        let mut abort_causes: BTreeMap<String, u64> = BTreeMap::new();
         let mut latencies: Vec<u64> = Vec::new();
         let mut makespan = 0u64;
         for w in &workers {
@@ -369,6 +453,9 @@ impl ShardedRuntime {
             aborted_rounds += w.stats.aborted_rounds;
             local_conflicts += w.stats.local_conflicts;
             stray_touches += w.stats.stray_touches;
+            for (&cause, &n) in &w.stats.abort_causes {
+                *abort_causes.entry(cause.to_string()).or_insert(0) += n;
+            }
             latencies.extend_from_slice(&w.stats.latencies_us);
             makespan = makespan.max(w.stats.last_commit_us);
         }
@@ -387,6 +474,7 @@ impl ShardedRuntime {
                 } else {
                     w.stats.busy_us as f64 / makespan as f64
                 },
+                aborted_rounds: w.stats.aborted_rounds,
             })
             .collect();
         RuntimeReport {
@@ -402,6 +490,7 @@ impl ShardedRuntime {
             },
             prepare_rounds,
             aborted_rounds,
+            abort_causes,
             abort_rate: if prepare_rounds == 0 {
                 0.0
             } else {

@@ -1,6 +1,8 @@
 //! The runtime's measurement output: what a partition actually costs at
 //! execution time.
 
+use std::collections::BTreeMap;
+
 use blockpart_metrics::{percentile_sorted, Table};
 use blockpart_types::{ShardCount, ShardId};
 use serde::{Deserialize, Serialize};
@@ -18,6 +20,8 @@ pub struct ShardReport {
     pub busy_us: u64,
     /// `busy_us / makespan` — how loaded the shard's executor was.
     pub utilization: f64,
+    /// Prepare rounds this shard coordinated that aborted.
+    pub aborted_rounds: u64,
 }
 
 /// The outcome of one sharded execution run.
@@ -43,8 +47,13 @@ pub struct RuntimeReport {
     /// Prepare rounds broadcast (0 when every transaction is
     /// single-shard).
     pub prepare_rounds: u64,
-    /// Prepare rounds that aborted on a lock conflict.
+    /// Prepare rounds that aborted.
     pub aborted_rounds: u64,
+    /// `aborted_rounds` broken down by cause. `"lock-conflict"` rounds
+    /// lost a lock race and will retry; `"retry-exhausted"` rounds were
+    /// the terminal attempt of a transaction that then failed. Values
+    /// sum to `aborted_rounds`.
+    pub abort_causes: BTreeMap<String, u64>,
     /// `aborted_rounds / prepare_rounds` (0 when no rounds ran).
     pub abort_rate: f64,
     /// Single-shard executions deferred by a lock held locally.
@@ -78,15 +87,28 @@ impl RuntimeReport {
         )
     }
 
-    /// One-line headline: the numbers a comparison table shows.
+    /// One-line headline: the numbers a comparison table shows. When
+    /// rounds aborted, the abort percentage carries its cause breakdown
+    /// (`aborts=12.0% [lock-conflict=40 retry-exhausted=2]`).
     pub fn headline(&self) -> String {
+        let causes = if self.abort_causes.is_empty() {
+            String::new()
+        } else {
+            let parts: Vec<String> = self
+                .abort_causes
+                .iter()
+                .map(|(cause, n)| format!("{cause}={n}"))
+                .collect();
+            format!(" [{}]", parts.join(" "))
+        };
         format!(
-            "k={} committed={}/{} cross={:.1}% aborts={:.1}% p50={}µs p99={}µs {:.0} tx/s",
+            "k={} committed={}/{} cross={:.1}% aborts={:.1}%{} p50={}µs p99={}µs {:.0} tx/s",
             self.k.get(),
             self.committed,
             self.total_txs,
             self.cross_shard_ratio * 100.0,
             self.abort_rate * 100.0,
+            causes,
             self.p50_commit_latency_us,
             self.p99_commit_latency_us,
             self.throughput_tps,
@@ -95,12 +117,20 @@ impl RuntimeReport {
 
     /// Renders the per-shard breakdown as a table.
     pub fn shard_table(&self) -> Table {
-        let mut t = Table::new(vec!["shard", "committed", "cross", "busy-ms", "util"]);
+        let mut t = Table::new(vec![
+            "shard",
+            "committed",
+            "cross",
+            "aborts",
+            "busy-ms",
+            "util",
+        ]);
         for s in &self.per_shard {
             t.row(vec![
                 s.shard.to_string(),
                 s.committed.to_string(),
                 s.cross_committed.to_string(),
+                s.aborted_rounds.to_string(),
                 format!("{:.1}", s.busy_us as f64 / 1e3),
                 format!("{:.2}", s.utilization),
             ]);

@@ -7,10 +7,11 @@
 //! engine schedules through the shared event clock. That isolation is
 //! what lets the engine run one thread per shard and stay deterministic.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use blockpart_ethereum::evm::{ExecContext, GasSchedule, Vm};
 use blockpart_ethereum::{Receipt, Transaction, World};
+use blockpart_obs::{Collector, Record, Trace};
 use blockpart_types::{Address, ShardId, Timestamp};
 
 use crate::clock::Micros;
@@ -92,6 +93,8 @@ pub(crate) struct WorkerStats {
     pub aborted_rounds: u64,
     pub local_conflicts: u64,
     pub stray_touches: u64,
+    /// `aborted_rounds` split by cause; values sum to `aborted_rounds`.
+    pub abort_causes: BTreeMap<&'static str, u64>,
     pub latencies_us: Vec<u64>,
     pub last_commit_us: Micros,
 }
@@ -104,6 +107,12 @@ pub(crate) struct ShardWorker {
     running: Option<Work>,
     coords: HashMap<TxId, CoordState>,
     pub stats: WorkerStats,
+    /// Virtual-clock trace buffer owned by this worker (disabled unless
+    /// the engine runs traced). Worker-owned buffers merged in shard
+    /// order keep traced runs deterministic across thread schedules.
+    pub obs: Trace,
+    /// End of the last execution, for idle-gap spans.
+    idle_from: Micros,
 }
 
 impl ShardWorker {
@@ -116,6 +125,8 @@ impl ShardWorker {
             running: None,
             coords: HashMap::new(),
             stats: WorkerStats::default(),
+            obs: Trace::disabled(),
+            idle_from: 0,
         }
     }
 
@@ -151,6 +162,15 @@ impl ShardWorker {
         let attempt = coord.attempt;
         *coord = CoordState::new_round(attempt, rec.parts.len());
         self.stats.prepare_rounds += 1;
+        if self.obs.events() {
+            self.obs.record(
+                Record::instant(now, "2pc", "2pc.prepare")
+                    .with_arg("tx", tx.0)
+                    .with_arg("attempt", attempt)
+                    .with_arg("shards", rec.parts.len()),
+            );
+        }
+        self.obs.add("prepare_rounds", 1);
         for &(shard, _) in &rec.parts {
             out.push(Emit {
                 at: now + ctx.net.delay(self.id, shard),
@@ -186,6 +206,14 @@ impl ShardWorker {
     ) {
         let addrs = ctx.txs[tx.as_usize()].addrs_on(self.id);
         let ok = self.locks.try_lock_all(tx, addrs);
+        if self.obs.events() {
+            self.obs.record(
+                Record::instant(now, "2pc", "2pc.lock")
+                    .with_arg("tx", tx.0)
+                    .with_arg("addresses", addrs.len())
+                    .with_arg("ok", ok),
+            );
+        }
         let shipped = if ok {
             addrs
                 .iter()
@@ -217,6 +245,14 @@ impl ShardWorker {
         ctx: &Ctx<'_>,
         out: &mut Vec<Emit>,
     ) {
+        if self.obs.events() {
+            self.obs.record(
+                Record::instant(now, "2pc", "2pc.vote")
+                    .with_arg("tx", tx.0)
+                    .with_arg("from", from)
+                    .with_arg("ok", ok),
+            );
+        }
         let coord = self.coords.get_mut(&tx).expect("vote for unknown tx");
         if !coord.record_vote(from, ok, shipped) {
             return;
@@ -231,6 +267,28 @@ impl ShardWorker {
         self.stats.aborted_rounds += 1;
         let locked = std::mem::take(&mut coord.locked);
         let attempt = coord.attempt;
+        // a round that lost the lock race retries; the terminal attempt
+        // drops the transaction instead
+        let cause = if attempt >= ctx.cfg.max_attempts {
+            "retry-exhausted"
+        } else {
+            "lock-conflict"
+        };
+        *self.stats.abort_causes.entry(cause).or_insert(0) += 1;
+        if self.obs.events() {
+            self.obs.record(
+                Record::instant(now, "2pc", "2pc.abort")
+                    .with_arg("tx", tx.0)
+                    .with_arg("attempt", attempt)
+                    .with_arg("shards", ctx.txs[tx.as_usize()].parts.len())
+                    .with_arg("cause", cause),
+            );
+        }
+        if self.obs.enabled() {
+            // the two cause names are fixed, so the format! amortizes to
+            // a registry hit after the first abort of each cause
+            self.obs.add(&format!("aborts/{cause}"), 1);
+        }
         for shard in locked {
             out.push(Emit {
                 at: now + ctx.net.delay(self.id, shard),
@@ -288,17 +346,28 @@ impl ShardWorker {
         if coord.acks_pending > 0 {
             return;
         }
+        let attempts = coord.attempt;
         self.coords.remove(&tx);
         self.record_commit(tx, now, ctx);
         self.stats.cross_committed += 1;
+        if self.obs.events() {
+            self.obs.record(
+                Record::instant(now, "2pc", "2pc.commit")
+                    .with_arg("tx", tx.0)
+                    .with_arg("attempts", attempts)
+                    .with_arg("shards", ctx.txs[tx.as_usize()].parts.len()),
+            );
+        }
+        self.obs.add("cross_commits", 1);
     }
 
     fn record_commit(&mut self, tx: TxId, now: Micros, ctx: &Ctx<'_>) {
         self.stats.committed += 1;
-        self.stats
-            .latencies_us
-            .push(now - ctx.txs[tx.as_usize()].arrival_us);
+        let latency = now - ctx.txs[tx.as_usize()].arrival_us;
+        self.stats.latencies_us.push(latency);
         self.stats.last_commit_us = self.stats.last_commit_us.max(now);
+        self.obs.add("commits", 1);
+        self.obs.observe_us("commit_latency_us", latency);
     }
 
     /// Starts the next runnable work item if the execution unit is idle.
@@ -359,6 +428,27 @@ impl ShardWorker {
         self.note_strays(rec, &receipt);
         let exec_us = (receipt.gas_used.get() / ctx.cfg.gas_per_us).max(ctx.cfg.min_exec_us);
         self.stats.busy_us += exec_us;
+        if self.obs.events() {
+            // the execution unit sat idle since the previous ExecDone
+            if now > self.idle_from {
+                self.obs
+                    .span_at(self.idle_from, now - self.idle_from, "worker", "idle");
+            }
+            // the span's full extent is known upfront: the discrete-event
+            // engine charges exec_us to the unit in one step
+            let kind = match work {
+                Work::Local(_) => "local",
+                Work::CrossExec(_) => "cross",
+            };
+            self.obs.record(
+                Record::span(now, exec_us, "exec", "exec")
+                    .with_arg("tx", tx.0)
+                    .with_arg("kind", kind)
+                    .with_arg("gas", receipt.gas_used.get()),
+            );
+        }
+        self.obs.observe_us("exec_us", exec_us);
+        self.idle_from = now + exec_us;
         self.running = Some(work);
         out.push(Emit {
             at: now + exec_us,

@@ -3,6 +3,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use blockpart_graph::{GraphBuilder, Interaction, InteractionLog};
+use blockpart_obs::{Collector, Noop, Record};
 use blockpart_partition::{PartitionRequest, Partitioner};
 use blockpart_types::{Address, Duration, ShardCount, Timestamp};
 use serde::{Deserialize, Serialize};
@@ -243,6 +244,20 @@ impl ShardSimulator {
 
     /// Runs the whole log and returns per-window records plus totals.
     pub fn run(&mut self, log: &InteractionLog) -> SimulationResult {
+        self.run_traced(log, &mut Noop)
+    }
+
+    /// Like [`run`](Self::run), but reports instrumentation to `obs`:
+    /// wall-clock `detail` spans for the two halves of each repartition
+    /// (`simulate/graph-assembly`, `simulate/partition`) plus the move
+    /// application (`simulate/apply-moves`), and `sim/*` counters. The
+    /// spans nest under the caller's `simulate` stage span in the
+    /// self-profile table.
+    pub fn run_traced<C: Collector>(
+        &mut self,
+        log: &InteractionLog,
+        obs: &mut C,
+    ) -> SimulationResult {
         let mut result = SimulationResult::default();
         let Some(first) = log.events().first() else {
             return result;
@@ -263,6 +278,7 @@ impl ShardSimulator {
                     &mut accum,
                     &mut last_repartition,
                     &mut result,
+                    obs,
                 );
                 window_start = boundary;
             }
@@ -276,8 +292,16 @@ impl ShardSimulator {
             &mut accum,
             &mut last_repartition,
             &mut result,
+            obs,
         );
 
+        if obs.enabled() {
+            obs.add("sim/windows", result.windows.len() as u64);
+            obs.add("sim/repartitions", result.repartitions as u64);
+            obs.add("sim/moves", result.total_moves);
+            obs.gauge("sim/vertices", self.state.vertex_count() as f64);
+            obs.gauge("sim/edges", self.state.edge_count() as f64);
+        }
         result.vertex_count = self.state.vertex_count();
         result.edge_count = self.state.edge_count();
         result
@@ -317,13 +341,14 @@ impl ShardSimulator {
         }
     }
 
-    fn close_window(
+    fn close_window<C: Collector>(
         &mut self,
         start: Timestamp,
         boundary: Timestamp,
         accum: &mut WindowAccum,
         last_repartition: &mut Timestamp,
         result: &mut SimulationResult,
+        obs: &mut C,
     ) {
         let mut record = WindowRecord {
             start,
@@ -354,7 +379,7 @@ impl ShardSimulator {
             record.dynamic_balance,
         ) && self.state.vertex_count() > 0
         {
-            let (moves, units) = self.repartition();
+            let (moves, units) = self.repartition(obs);
             record.repartitioned = true;
             record.moves = moves;
             record.relocated_units = units;
@@ -370,7 +395,8 @@ impl ShardSimulator {
 
     /// Runs the partitioner over the configured scope and applies the new
     /// assignment. Returns (moves, relocated state units).
-    fn repartition(&mut self) -> (u64, u64) {
+    fn repartition<C: Collector>(&mut self, obs: &mut C) -> (u64, u64) {
+        let t0 = obs.now_us();
         let (csr, order, ids, previous) = match self.config.scope {
             RepartitionScope::Full => self.state.full_graph(),
             RepartitionScope::Window => {
@@ -390,11 +416,31 @@ impl ShardSimulator {
                 (graph.to_csr(), order, ids, previous)
             }
         };
+        if obs.enabled() {
+            let t1 = obs.now_us();
+            obs.record(
+                Record::span(t0, t1 - t0, "detail", "simulate/graph-assembly")
+                    .with_arg("vertices", order.len())
+                    .with_arg("edges", csr.edge_count()),
+            );
+        }
+
+        let t1 = obs.now_us();
         let req = PartitionRequest::new(&csr, self.config.k)
             .with_stable_ids(&ids)
             .with_previous(&previous);
         let new_partition = self.partitioner.partition(&req);
+        if obs.enabled() {
+            let t2 = obs.now_us();
+            obs.record(
+                Record::span(t1, t2 - t1, "detail", "simulate/partition")
+                    .with_arg("partitioner", self.partitioner.name())
+                    .with_arg("vertices", order.len()),
+            );
+            obs.observe_us("sim/partition_us", t2 - t1);
+        }
 
+        let t2 = obs.now_us();
         let mut moves = 0u64;
         let mut units = 0u64;
         for (i, &address) in order.iter().enumerate() {
@@ -408,6 +454,13 @@ impl ShardSimulator {
                     .copied()
                     .unwrap_or(0);
             }
+        }
+        if obs.enabled() {
+            let t3 = obs.now_us();
+            obs.record(
+                Record::span(t2, t3 - t2, "detail", "simulate/apply-moves")
+                    .with_arg("moves", moves),
+            );
         }
         (moves, units)
     }

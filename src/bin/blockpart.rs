@@ -6,6 +6,8 @@
 //! blockpart study    --strategies "r-metis[window=7],tr-metis[cut=0.4]" --json
 //! blockpart offline  --scale 0.001 --shards 2     # streaming vs multilevel
 //! blockpart runtime  --scale 0.001 --shards 1,2,4 # 2PC execution replay
+//! blockpart runtime  --trace out.json --metrics metrics.txt
+//! blockpart profile  --scale 0.001 --shards 2,4   # stage → time self-profile
 //! blockpart list-strategies
 //! blockpart help
 //! ```
@@ -20,10 +22,11 @@ use std::io::BufWriter;
 use std::process::ExitCode;
 
 use blockpart::core::ablation::{offline_partitioner_comparison, offline_table};
-use blockpart::core::{Experiment, ExperimentReport, StrategyRegistry};
+use blockpart::core::{run_profile, Experiment, ExperimentReport, StrategyRegistry};
 use blockpart::ethereum::gen::{ChainGenerator, GeneratorConfig};
 use blockpart::graph::io::write_trace;
-use blockpart::types::ShardCount;
+use blockpart::obs::perfetto;
+use blockpart::types::{Duration, ShardCount};
 
 const USAGE: &str = "\
 blockpart — blockchain-graph sharding study (Fynn & Pedone, DSN 2018)
@@ -43,6 +46,9 @@ COMMANDS:
                                     name[key=value;...]   (default all)
                --shards <k,..>      shard counts          (default 2,4,8)
                --json               machine-readable ExperimentReport
+               --trace <path>       write a Chrome/Perfetto trace_event
+                                    JSON of the run
+               --metrics <path>     write a flat metrics text dump
     offline    one-shot partitioner comparison on the final graph
                --scale, --seed as above
                --shards <k>     single shard count     (default 2)
@@ -54,6 +60,20 @@ COMMANDS:
                --latency-us <n>  one-way net latency    (default 1000)
                --arrival-us <n>  arrival gap / offered load (default 500)
                --json            machine-readable ExperimentReport
+               --trace <path>    Perfetto trace_event JSON (the replay's
+                                 virtual-clock slice is deterministic)
+               --metrics <path>  flat metrics text dump
+    profile    self-profile the serial pipeline (chain-gen → graph-build →
+               csr → partition → simulate → replay) and print the
+               stage → time table
+               --scale, --seed as above
+               --strategies <s,..>  (default hash,metis)
+               --shards <k,..>   shard counts           (default 2,4)
+               --no-replay       skip the 2PC replay stage
+               --no-obs          run uninstrumented, print wall time only
+                                 (for overhead comparison)
+               --trace <path>    Perfetto trace_event JSON of the profile
+               --metrics <path>  flat metrics text dump
     list-strategies
                print the registered strategies and their parameters
     help       print this message
@@ -62,7 +82,7 @@ COMMANDS:
 ";
 
 /// Options that are flags (no value follows them).
-const FLAG_OPTIONS: &[&str] = &["json"];
+const FLAG_OPTIONS: &[&str] = &["json", "no-obs", "no-replay"];
 
 fn main() -> ExitCode {
     let registry = StrategyRegistry::with_builtins();
@@ -92,7 +112,16 @@ fn run(registry: &StrategyRegistry, args: &[String]) -> Result<(), String> {
             ensure_known_options(
                 &opts,
                 "study",
-                &["scale", "seed", "strategies", "methods", "shards", "json"],
+                &[
+                    "scale",
+                    "seed",
+                    "strategies",
+                    "methods",
+                    "shards",
+                    "json",
+                    "trace",
+                    "metrics",
+                ],
             )?;
             cmd_study(registry, &opts)
         }
@@ -113,9 +142,29 @@ fn run(registry: &StrategyRegistry, args: &[String]) -> Result<(), String> {
                     "latency-us",
                     "arrival-us",
                     "json",
+                    "trace",
+                    "metrics",
                 ],
             )?;
             cmd_runtime(registry, &opts)
+        }
+        "profile" => {
+            ensure_known_options(
+                &opts,
+                "profile",
+                &[
+                    "scale",
+                    "seed",
+                    "strategies",
+                    "methods",
+                    "shards",
+                    "no-replay",
+                    "no-obs",
+                    "trace",
+                    "metrics",
+                ],
+            )?;
+            cmd_profile(registry, &opts)
         }
         "list-strategies" => {
             ensure_known_options(&opts, "list-strategies", &[])?;
@@ -265,6 +314,50 @@ fn cmd_generate(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn write_text(path: &str, content: &str) -> Result<(), String> {
+    std::fs::write(path, content).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// Whether `--trace` or `--metrics` asked for instrumentation.
+fn tracing_requested(opts: &HashMap<String, String>) -> bool {
+    opts.contains_key("trace") || opts.contains_key("metrics")
+}
+
+/// Validates `trace` against the `trace_event` schema and writes it.
+fn write_perfetto(path: &str, trace: &blockpart::obs::Trace) -> Result<(), String> {
+    let doc = perfetto::to_perfetto(trace);
+    let events = perfetto::validate(&doc)
+        .map_err(|e| format!("internal: exported trace failed validation: {e}"))?;
+    write_text(path, &doc.render())?;
+    eprintln!("wrote {events}-event trace to {path}");
+    Ok(())
+}
+
+/// Writes `--trace` / `--metrics` exports from a traced experiment.
+/// With `virtual_only`, the trace export keeps only virtual-clock
+/// records — the deterministic slice (same seed + config ⇒ identical
+/// bytes), which is what `runtime --trace` promises.
+fn export_observability(
+    report: &ExperimentReport,
+    opts: &HashMap<String, String>,
+    virtual_only: bool,
+) -> Result<(), String> {
+    let trace = report.trace.as_ref().expect("tracing was enabled");
+    if let Some(path) = opts.get("trace") {
+        let export = if virtual_only {
+            trace.virtual_only()
+        } else {
+            trace.clone()
+        };
+        write_perfetto(path, &export)?;
+    }
+    if let Some(path) = opts.get("metrics") {
+        write_text(path, &trace.metrics_text())?;
+        eprintln!("wrote metrics to {path}");
+    }
+    Ok(())
+}
+
 fn print_report(report: &ExperimentReport, json: bool, runtime: bool) {
     if json {
         println!("{}", report.to_json_pretty());
@@ -287,8 +380,12 @@ fn cmd_study(registry: &StrategyRegistry, opts: &HashMap<String, String>) -> Res
         .map_err(|e| e.to_string())?
         .shard_counts(shards)
         .seed(seed)
+        .trace(tracing_requested(opts))
         .run();
     print_report(&report, json_of(opts), false);
+    if tracing_requested(opts) {
+        export_observability(&report, opts, false)?;
+    }
     Ok(())
 }
 
@@ -326,8 +423,13 @@ fn cmd_runtime(registry: &StrategyRegistry, opts: &HashMap<String, String>) -> R
         .replay(true)
         .net_latency_us(latency_us)
         .inter_arrival_us(arrival_us)
+        .trace(tracing_requested(opts))
         .run();
     print_report(&report, json_of(opts), true);
+    if tracing_requested(opts) {
+        // virtual-only: the exported replay trace is deterministic.
+        export_observability(&report, opts, true)?;
+    }
     if !json_of(opts) {
         // the headline the study exists to show: a better cut means fewer
         // transactions pay the 2PC coordination tax
@@ -346,6 +448,53 @@ fn cmd_runtime(registry: &StrategyRegistry, opts: &HashMap<String, String>) -> R
                 );
             }
         }
+    }
+    Ok(())
+}
+
+fn cmd_profile(registry: &StrategyRegistry, opts: &HashMap<String, String>) -> Result<(), String> {
+    let spec = strategy_spec_of(opts, "hash,metis")?;
+    registry.resolve_list(spec).map_err(|e| e.to_string())?;
+    let shards = shards_of(opts, &[2, 4])?;
+    let seed = seed_of(opts)?;
+    let scale = scale_of(opts)?;
+    let replay = !opts.contains_key("no-replay");
+    let instrument = !opts.contains_key("no-obs");
+    if !instrument && tracing_requested(opts) {
+        return Err("--no-obs collects nothing; drop --trace/--metrics".into());
+    }
+    eprintln!("profiling pipeline (scale {scale}, seed {seed}, strategies {spec})...");
+    let gen = GeneratorConfig::demo_scale(seed).with_scale(scale);
+    let report = run_profile(
+        registry,
+        spec,
+        &shards,
+        gen,
+        Duration::hours(4),
+        seed,
+        replay,
+        instrument,
+    )
+    .map_err(|e| e.to_string())?;
+    if instrument {
+        println!("{}", report.table().render_ascii());
+        println!(
+            "stage coverage: {:.1}% of {:.2} ms wall",
+            report.coverage() * 100.0,
+            report.wall_us() as f64 / 1000.0
+        );
+        if let Some(path) = opts.get("trace") {
+            write_perfetto(path, report.trace())?;
+        }
+        if let Some(path) = opts.get("metrics") {
+            write_text(path, &report.trace().metrics_text())?;
+            eprintln!("wrote metrics to {path}");
+        }
+    } else {
+        println!(
+            "wall: {:.2} ms (instrumentation disabled)",
+            report.wall_us() as f64 / 1000.0
+        );
     }
     Ok(())
 }

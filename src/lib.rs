@@ -18,6 +18,8 @@
 //!   move accounting);
 //! * [`runtime`] — the sharded 2PC execution engine;
 //! * [`metrics`] — summary statistics and report rendering;
+//! * [`obs`] — spans/events, a metrics registry and Perfetto/profile
+//!   exporters (virtual-clock traces are deterministic);
 //! * [`core`] — the strategy registry, the unified experiment pipeline
 //!   and one entry point per paper figure.
 //!
@@ -59,6 +61,7 @@ pub use blockpart_core as core;
 pub use blockpart_ethereum as ethereum;
 pub use blockpart_graph as graph;
 pub use blockpart_metrics as metrics;
+pub use blockpart_obs as obs;
 pub use blockpart_partition as partition;
 pub use blockpart_runtime as runtime;
 pub use blockpart_shard as shard;

@@ -1,0 +1,143 @@
+//! Integration tests for the instrumentation layer: the pipeline's
+//! traces must carry the 2PC lifecycle, stay deterministic on the
+//! virtual clock, export valid Chrome/Perfetto JSON, and the
+//! self-profile must account for essentially all of the wall time.
+
+use blockpart::core::{run_profile, Experiment, ExperimentReport, StrategyRegistry};
+use blockpart::ethereum::gen::{ChainGenerator, GeneratorConfig};
+use blockpart::ethereum::SyntheticChain;
+use blockpart::obs::perfetto;
+use blockpart::types::{Duration, ShardCount};
+
+fn history() -> &'static SyntheticChain {
+    static H: std::sync::OnceLock<SyntheticChain> = std::sync::OnceLock::new();
+    H.get_or_init(|| ChainGenerator::new(GeneratorConfig::test_scale(9)).generate())
+}
+
+fn traced_experiment() -> ExperimentReport {
+    let registry = StrategyRegistry::with_builtins();
+    Experiment::over_chain(history())
+        .named_strategies(&registry, "hash,metis")
+        .expect("built-ins resolve")
+        .shard_counts(vec![ShardCount::TWO])
+        .replay(true)
+        .trace(true)
+        .seed(7)
+        .run()
+}
+
+#[test]
+fn experiment_trace_carries_stages_and_2pc_lifecycle() {
+    // from_generator (rather than over_chain) so the pipeline also owns —
+    // and traces — the chain-gen stage
+    let registry = StrategyRegistry::with_builtins();
+    let report = Experiment::from_generator(GeneratorConfig::test_scale(9))
+        .named_strategies(&registry, "hash,metis")
+        .expect("built-ins resolve")
+        .shard_counts(vec![ShardCount::TWO])
+        .replay(true)
+        .trace(true)
+        .seed(7)
+        .run();
+    let trace = report.trace.as_ref().expect("tracing enabled");
+
+    // the pipeline stages are spans on the wall clock
+    let stage_names: Vec<&str> = trace
+        .records()
+        .iter()
+        .filter(|r| r.cat == "stage")
+        .map(|r| r.name.as_str())
+        .collect();
+    for stage in ["chain-gen", "simulate", "replay"] {
+        assert!(stage_names.contains(&stage), "missing {stage} stage span");
+    }
+
+    // the replay's discrete-event engine emits the full 2PC lifecycle
+    let lifecycle: Vec<&str> = trace
+        .records()
+        .iter()
+        .filter(|r| r.cat == "2pc")
+        .map(|r| r.name.as_str())
+        .collect();
+    for event in ["2pc.prepare", "2pc.lock", "2pc.vote", "2pc.commit"] {
+        assert!(lifecycle.contains(&event), "missing {event} in trace");
+    }
+    // workers record execution spans with durations
+    assert!(
+        trace
+            .records()
+            .iter()
+            .any(|r| r.cat == "exec" && r.dur_us.is_some()),
+        "no exec spans in trace"
+    );
+}
+
+#[test]
+fn abort_causes_partition_the_aborted_rounds() {
+    let report = traced_experiment();
+    for (strategy, k) in [("HASH", ShardCount::TWO), ("METIS", ShardCount::TWO)] {
+        let run = report.runtime(strategy, k).expect("replay ran");
+        let by_cause: u64 = run.abort_causes.values().sum();
+        assert_eq!(
+            by_cause, run.aborted_rounds,
+            "{strategy}: causes {by_cause} != aborted {}",
+            run.aborted_rounds
+        );
+    }
+}
+
+#[test]
+fn experiment_exports_validate_and_replay_slice_is_deterministic() {
+    let report = traced_experiment();
+    let doc = report.trace_perfetto().expect("tracing enabled");
+    let events = perfetto::validate(&doc).expect("well-formed trace_event JSON");
+    assert!(events > 100, "suspiciously small trace: {events} events");
+
+    let metrics = report.metrics_text().expect("tracing enabled");
+    assert!(
+        metrics.contains("HASH/k2/shard-0/commits"),
+        "metrics not scoped per strategy/k/shard:\n{metrics}"
+    );
+
+    // same seed + config: the virtual-clock slice repeats byte-for-byte
+    // even though wall-clock spans differ between runs
+    let again = traced_experiment();
+    let a = perfetto::to_perfetto(&report.trace.expect("tracing enabled").virtual_only()).render();
+    let b = perfetto::to_perfetto(&again.trace.expect("tracing enabled").virtual_only()).render();
+    assert_eq!(a, b, "virtual-clock trace must be deterministic");
+}
+
+#[test]
+fn profile_accounts_for_the_wall_time() {
+    let registry = StrategyRegistry::with_builtins();
+    let report = run_profile(
+        &registry,
+        "hash,metis",
+        &[ShardCount::TWO],
+        GeneratorConfig::test_scale(9),
+        Duration::hours(6),
+        7,
+        true,
+        true,
+    )
+    .expect("built-ins resolve");
+
+    assert!(
+        report.coverage() >= 0.95,
+        "stage spans cover only {:.1}% of {} µs wall",
+        report.coverage() * 100.0,
+        report.wall_us()
+    );
+    let table = report.table().render_ascii();
+    for row in [
+        "chain-gen",
+        "partition",
+        "simulate",
+        "replay",
+        "total (wall)",
+    ] {
+        assert!(table.contains(row), "missing {row} in:\n{table}");
+    }
+    // the profile trace itself exports as valid Perfetto JSON
+    perfetto::validate(&perfetto::to_perfetto(report.trace())).expect("profile trace validates");
+}
