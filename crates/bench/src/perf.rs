@@ -2,10 +2,21 @@
 //!
 //! Runs a fixed, seeded workload matrix — chain generation → graph build
 //! → CSR symmetrization → HASH/METIS/R-METIS partitioning → offline
-//! simulation → 2PC replay — timing every stage with warmup plus
-//! repeated trials, and renders the medians as a stable-schema
-//! `BENCH.json` document (see [`SCHEMA`]). A committed baseline plus
-//! [`compare`] turns the harness into a CI regression gate.
+//! simulation → 2PC replay → live repartitioning — timing every stage
+//! with warmup plus repeated trials, and renders the medians as a
+//! stable-schema `BENCH.json` document (see [`SCHEMA`]). A committed
+//! baseline plus [`compare`] turns the harness into a CI regression
+//! gate.
+//!
+//! The `live` stage times the online repartitioning service end to end
+//! (host wall-clock, calibrated like any other stage) and additionally
+//! records two virtual-clock quantities from its deterministic report —
+//! `live-migration-vclock` (total migration wall-clock inside the
+//! simulated timeline) and `live-during-p99-vclock` (worst p99 commit
+//! latency while a migration was in flight). Virtual-clock rows are
+//! bit-stable for a given seed, so the gate catches behavioral drift in
+//! the migration path, not timer noise; [`compare_calibrated`] leaves
+//! them unscaled (see [`is_virtual_stage`]).
 //!
 //! The hot stages are measured twice, once pinned to one worker and once
 //! at the configured worker count, so the parallel speedup is part of
@@ -20,11 +31,12 @@ use blockpart_core::StrategyRegistry;
 use blockpart_ethereum::gen::{ChainGenerator, GeneratorConfig};
 use blockpart_ethereum::SyntheticChain;
 use blockpart_graph::InteractionLog;
+use blockpart_live::{LiveConfig, LiveRunner};
 use blockpart_metrics::Json;
 use blockpart_partition::{kway, MultilevelConfig, PartitionRequest};
 use blockpart_runtime::{Assignment, ShardedRuntime};
 use blockpart_shard::ShardSimulator;
-use blockpart_types::{resolve_workers, ShardCount};
+use blockpart_types::{resolve_workers, Duration, ShardCount};
 
 /// Schema identifier stamped into every `BENCH.json`.
 pub const SCHEMA: &str = "blockpart.bench/1";
@@ -350,6 +362,15 @@ pub fn obs_overhead(report: &PerfReport, max_overhead: f64) -> (Vec<ObsOverhead>
 /// setup problem the gate should surface, not silently normalize away.
 pub const CALIBRATION_CLAMP: (f64, f64) = (0.25, 4.0);
 
+/// Whether a stage records deterministic *virtual-clock* time (the
+/// runtime's simulated timeline) rather than host wall-clock. Virtual
+/// rows are bit-stable for a given seed and config, so machine-speed
+/// calibration must not rescale them — a change in their value is a
+/// behavioral change, not a slower machine.
+pub fn is_virtual_stage(stage: &str) -> bool {
+    stage.ends_with("-vclock")
+}
+
 /// The relative speed of `current`'s machine versus `baseline`'s,
 /// probed by the `chain-gen` stage (single-threaded, deterministic
 /// work — a pure CPU-speed measurement, independent of worker counts).
@@ -372,7 +393,8 @@ pub fn calibration_factor(current: &PerfReport, baseline: &PerfReport) -> Option
 /// stage rescales to exactly the current measurement and so never
 /// regresses — it is the yardstick, not a gated quantity; outside the
 /// envelope it regresses like any other stage, flagging the machine
-/// mismatch itself.
+/// mismatch itself. Virtual-clock stages ([`is_virtual_stage`]) are
+/// compared unscaled: their values are machine-independent.
 pub fn compare_calibrated(
     current: &PerfReport,
     baseline: &PerfReport,
@@ -386,7 +408,11 @@ pub fn compare_calibrated(
             .stages
             .iter()
             .map(|s| StageResult {
-                median_ms: s.median_ms * factor,
+                median_ms: if is_virtual_stage(&s.stage) {
+                    s.median_ms
+                } else {
+                    s.median_ms * factor
+                },
                 txs_per_sec: s.txs_per_sec,
                 stage: s.stage.clone(),
                 strategy: s.strategy.clone(),
@@ -591,6 +617,56 @@ pub fn run(config: &PerfConfig) -> PerfReport {
         }
     }
 
+    // ---- live repartitioning service -----------------------------------
+    // The online path: windowed graph, threshold trigger, staged state
+    // migration through the 2PC runtime. Timed end to end, plus the
+    // deterministic virtual-clock quantities from the migration report.
+    let live_spec = registry
+        .resolve("tr-metis")
+        .expect("built-in strategy resolves");
+    for &k in &config.shard_counts {
+        let shard_count = ShardCount::new(k).expect("non-zero shard count");
+        let sim_config = live_spec.simulator_config(shard_count);
+        let window = Duration::hours(4);
+        let depth = (sim_config.scope_window.as_secs() / window.as_secs()).max(1) as usize;
+        let mut runtime_config = live_spec.runtime_config(shard_count).with_seed(config.seed);
+        runtime_config.k = shard_count;
+        let live_config = LiveConfig::new(shard_count)
+            .with_window(window)
+            .with_depth(depth)
+            .with_policy(sim_config.policy)
+            .with_runtime(runtime_config)
+            .with_label("tr-metis");
+        let (ms, live) = time_stage(config.warmup, config.trials, || {
+            LiveRunner::new(
+                live_config.clone(),
+                live_spec.build_partitioner(config.seed),
+            )
+            .run(chain.chain.world(), &chain.txs)
+        });
+        push(
+            "live",
+            Some("tr-metis"),
+            Some(k),
+            ms,
+            throughput(chain.txs.len(), ms),
+        );
+        push(
+            "live-migration-vclock",
+            Some("tr-metis"),
+            Some(k),
+            live.report.migration_wall_us() as f64 / 1e3,
+            None,
+        );
+        push(
+            "live-during-p99-vclock",
+            Some("tr-metis"),
+            Some(k),
+            live.report.worst_during_p99_us() as f64 / 1e3,
+            None,
+        );
+    }
+
     PerfReport {
         config: config.clone(),
         workers_resolved: workers,
@@ -713,6 +789,34 @@ mod tests {
         let (_, regressions, _) = compare_calibrated(&regressed, &baseline, 0.25);
         assert_eq!(regressions.len(), 1);
         assert_eq!(regressions[0].key, "simulate/metis/2");
+    }
+
+    #[test]
+    fn calibration_leaves_virtual_clock_stages_unscaled() {
+        // baseline machine is 2x faster, but the virtual-clock row is
+        // machine-independent: rescaling it by 0.5 would flag the
+        // unchanged deterministic value as a 2x regression
+        let baseline = report_with(vec![
+            stage("chain-gen", None, None, 200.0),
+            stage("live-migration-vclock", Some("tr-metis"), Some(2), 500.0),
+        ]);
+        let current = report_with(vec![
+            stage("chain-gen", None, None, 100.0),
+            stage("live-migration-vclock", Some("tr-metis"), Some(2), 500.0),
+        ]);
+        let (factor, regressions, missing) = compare_calibrated(&current, &baseline, 0.25);
+        assert!((factor - 0.5).abs() < 1e-9);
+        assert!(regressions.is_empty(), "{regressions:?}");
+        assert!(missing.is_empty());
+
+        // a genuine behavioral drift in the virtual quantity still gates
+        let drifted = report_with(vec![
+            stage("chain-gen", None, None, 100.0),
+            stage("live-migration-vclock", Some("tr-metis"), Some(2), 900.0),
+        ]);
+        let (_, regressions, _) = compare_calibrated(&drifted, &baseline, 0.25);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].key, "live-migration-vclock/tr-metis/2");
     }
 
     #[test]

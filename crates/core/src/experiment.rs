@@ -46,6 +46,7 @@ use crossbeam::deque::{Steal, Stealer, Worker};
 use blockpart_ethereum::gen::{ChainGenerator, GeneratorConfig};
 use blockpart_ethereum::SyntheticChain;
 use blockpart_graph::InteractionLog;
+use blockpart_live::{LiveConfig, LiveRunner, MigrationReport};
 use blockpart_metrics::{Json, Table};
 use blockpart_obs::{perfetto, Collector, Record, Trace};
 use blockpart_runtime::{Assignment, RuntimeReport, ShardedRuntime};
@@ -95,6 +96,10 @@ pub struct ExperimentRun {
     pub offline: Option<SimulationResult>,
     /// 2PC replay measurements (present when replay was enabled).
     pub runtime: Option<RuntimeReport>,
+    /// Live repartitioning measurements (present when the live stage
+    /// was enabled): triggered migrations executed through the 2PC
+    /// runtime while the transaction stream flows.
+    pub live: Option<MigrationReport>,
 }
 
 /// Results of an [`Experiment`], indexable by strategy name and shard
@@ -133,6 +138,11 @@ impl ExperimentReport {
     /// The runtime replay report for `strategy` at `k`, if present.
     pub fn runtime(&self, strategy: &str, k: ShardCount) -> Option<&RuntimeReport> {
         self.run_of(strategy, k).and_then(|r| r.runtime.as_ref())
+    }
+
+    /// The live repartitioning report for `strategy` at `k`, if present.
+    pub fn live(&self, strategy: &str, k: ShardCount) -> Option<&MigrationReport> {
+        self.run_of(strategy, k).and_then(|r| r.live.as_ref())
     }
 
     /// Renders the offline stage as the per-strategy aggregate table
@@ -193,6 +203,36 @@ impl ExperimentReport {
         t
     }
 
+    /// Renders the live stage as the migration comparison table.
+    pub fn live_table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "strategy",
+            "k",
+            "migrations",
+            "accounts",
+            "bytes",
+            "mig-ms",
+            "during-p99-ms",
+            "committed",
+            "failed",
+        ]);
+        for r in &self.runs {
+            let Some(live) = &r.live else { continue };
+            t.row(vec![
+                r.strategy.clone(),
+                r.k.get().to_string(),
+                live.migrations().to_string(),
+                live.accounts_moved().to_string(),
+                live.bytes_moved().to_string(),
+                format!("{:.2}", live.migration_wall_us() as f64 / 1e3),
+                format!("{:.2}", live.worst_during_p99_us() as f64 / 1e3),
+                live.total_committed().to_string(),
+                live.total_failed().to_string(),
+            ]);
+        }
+        t
+    }
+
     /// The trace as a Chrome/Perfetto `trace_event` JSON document, when
     /// tracing was enabled.
     pub fn trace_perfetto(&self) -> Option<Json> {
@@ -235,6 +275,9 @@ impl ExperimentReport {
                     }
                     if let Some(rep) = &r.runtime {
                         pairs.push(("runtime".to_string(), runtime_json(rep)));
+                    }
+                    if let Some(live) = &r.live {
+                        pairs.push(("live".to_string(), live.json()));
                     }
                     Json::Obj(pairs)
                 })),
@@ -377,6 +420,7 @@ pub struct Experiment<'a> {
     seed: u64,
     offline: bool,
     replay: bool,
+    live: bool,
     trace: bool,
     net_latency_us: Option<u64>,
     inter_arrival_us: Option<u64>,
@@ -414,6 +458,7 @@ impl<'a> Experiment<'a> {
             seed: 0x45_58_50, // "EXP"
             offline: true,
             replay,
+            live: false,
             trace: false,
             net_latency_us: None,
             inter_arrival_us: None,
@@ -510,6 +555,18 @@ impl<'a> Experiment<'a> {
         self
     }
 
+    /// Enables the live repartitioning stage (off by default): the
+    /// chain's transaction stream is driven through a
+    /// [`LiveRunner`] — windowed graph, the strategy's trigger policy,
+    /// and real 2PC state migrations — and each run carries the
+    /// resulting [`MigrationReport`].
+    ///
+    /// Requires a chain workload, like [`replay`](Self::replay).
+    pub fn live(mut self, live: bool) -> Self {
+        self.live = live;
+        self
+    }
+
     /// Enables observability tracing (off by default). The report then
     /// carries a merged [`Trace`]: wall-clock stage spans per pair
     /// (`simulate`, `replay`, plus the simulator's `detail`
@@ -577,6 +634,11 @@ impl<'a> Experiment<'a> {
         assert!(
             !self.replay || chain.is_some(),
             "runtime replay requires a chain workload (use Experiment::over_chain or \
+             Experiment::from_generator)"
+        );
+        assert!(
+            !self.live || chain.is_some(),
+            "the live stage requires a chain workload (use Experiment::over_chain or \
              Experiment::from_generator)"
         );
 
@@ -727,12 +789,48 @@ impl<'a> Experiment<'a> {
         } else {
             None
         };
+        let live = if self.live {
+            let chain = chain.expect("checked in run()");
+            let live_start = obs.now_us();
+            // the strategy's own trigger/scope settings drive the live
+            // loop: retention depth = reduced-graph span in windows
+            let sim_cfg = spec.simulator_config(k);
+            let depth = (sim_cfg.scope_window.as_secs() / self.window.as_secs()).max(1) as usize;
+            let mut runtime_cfg = spec.runtime_config(k).with_seed(self.seed);
+            runtime_cfg.k = k;
+            if let Some(latency) = self.net_latency_us {
+                runtime_cfg = runtime_cfg.with_net_latency_us(latency);
+            }
+            if let Some(gap) = self.inter_arrival_us {
+                runtime_cfg = runtime_cfg.with_inter_arrival_us(gap);
+            }
+            let cfg = LiveConfig::new(k)
+                .with_window(self.window)
+                .with_depth(depth)
+                .with_policy(sim_cfg.policy)
+                .with_runtime(runtime_cfg)
+                .with_label(spec.name());
+            let mut runner = LiveRunner::new(cfg, spec.build_partitioner(self.seed));
+            let report = runner.run(chain.chain.world(), &chain.txs).report;
+            if obs.enabled() {
+                let dur = obs.now_us() - live_start;
+                obs.record(
+                    Record::span(live_start, dur, "stage", "live")
+                        .with_arg("pair", label.clone())
+                        .with_arg("migrations", report.migrations()),
+                );
+            }
+            Some(report)
+        } else {
+            None
+        };
         let run = ExperimentRun {
             strategy: spec.name().to_string(),
             requested: None, // filled in by run() from the pair table
             k,
             offline: self.offline.then_some(result),
             runtime,
+            live,
         };
         (run, epoch.map(|_| obs))
     }
@@ -851,6 +949,36 @@ mod tests {
     fn replay_needs_a_chain() {
         let log = log();
         let _ = Experiment::over_log(&log).replay(true).run();
+    }
+
+    #[test]
+    #[should_panic(expected = "live stage requires a chain")]
+    fn live_needs_a_chain() {
+        let log = log();
+        let _ = Experiment::over_log(&log).live(true).run();
+    }
+
+    #[test]
+    fn live_stage_measures_migrations() {
+        let chain = ChainGenerator::new(GeneratorConfig::test_scale(5)).generate();
+        let registry = StrategyRegistry::with_builtins();
+        // a 2-day cadence fires inside the 5-day toy chain; hash never
+        // stages a move
+        let report = Experiment::over_chain(&chain)
+            .named_strategies(&registry, "hash,metis[interval=2]")
+            .unwrap()
+            .shard_counts(vec![ShardCount::TWO])
+            .live(true)
+            .run();
+        let hash = report.live("hash", ShardCount::TWO).expect("live ran");
+        assert_eq!(hash.migrations(), 0);
+        let metis = report
+            .live("metis[interval=2]", ShardCount::TWO)
+            .expect("live ran");
+        assert!(metis.migrations() >= 1, "{}", metis.headline());
+        assert!(metis.accounts_moved() > 0);
+        assert_eq!(report.live_table().len(), 2);
+        assert!(report.to_json().contains("\"blockpart.live/1\""));
     }
 
     #[test]

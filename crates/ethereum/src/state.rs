@@ -50,6 +50,22 @@ pub enum AddressState {
     Contract(ContractState),
 }
 
+impl AddressState {
+    /// Approximate serialized size of the snapshot in bytes — the state
+    /// migration cost model's measure of what a shard-to-shard move
+    /// ships. An account is its balance and nonce; a contract adds its
+    /// code and every occupied storage slot (the paper's point: moving a
+    /// contract relocates all of this).
+    pub fn approx_bytes(&self) -> u64 {
+        match self {
+            AddressState::Account(_) => 16,
+            AddressState::Contract(c) => {
+                16 + c.program.len() as u64 * 8 + c.storage.len() as u64 * 16
+            }
+        }
+    }
+}
+
 /// The complete chain state: every account, every contract, plus the
 /// address allocator for contract creation.
 ///
@@ -197,6 +213,20 @@ impl World {
             self.accounts
                 .get(&address)
                 .map(|a| AddressState::Account(*a))
+        }
+    }
+
+    /// Removes one address's state and returns its snapshot, if the
+    /// world held it. The destructive counterpart of
+    /// [`export_state`](Self::export_state): a live state migration
+    /// exports on the source shard, installs on the destination, and
+    /// finally takes the source copy so exactly one shard owns the
+    /// address.
+    pub fn take_state(&mut self, address: Address) -> Option<AddressState> {
+        if let Some(c) = self.contracts.remove(&address) {
+            Some(AddressState::Contract(c))
+        } else {
+            self.accounts.remove(&address).map(AddressState::Account)
         }
     }
 
@@ -360,5 +390,35 @@ mod tests {
         let c = w.create_contract(ContractTemplate::Token, u, 1);
         let sizes: Vec<_> = w.contract_storage_sizes().collect();
         assert_eq!(sizes, vec![(c, 1)]);
+    }
+
+    #[test]
+    fn take_state_removes_and_roundtrips() {
+        let mut w = World::new();
+        let u = w.new_user(Wei::new(5));
+        let c = w.create_contract(ContractTemplate::Token, u, 1);
+        let ua = w.take_state(u).expect("account state");
+        assert!(w.account(u).is_none());
+        assert!(w.take_state(u).is_none());
+        w.install_state(u, ua);
+        assert_eq!(w.balance(u), Wei::new(5));
+        let cs = w.take_state(c).expect("contract state");
+        assert!(!w.is_contract(c));
+        w.install_state(c, cs);
+        assert!(w.is_contract(c));
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_contract_state() {
+        let mut w = World::new();
+        let u = w.new_user(Wei::new(5));
+        let c = w.create_contract(ContractTemplate::Token, u, 1);
+        let account = w.export_state(u).unwrap();
+        let contract = w.export_state(c).unwrap();
+        assert_eq!(account.approx_bytes(), 16);
+        assert!(contract.approx_bytes() > account.approx_bytes());
+        w.storage_store(c, 1234, 1);
+        let bigger = w.export_state(c).unwrap();
+        assert_eq!(bigger.approx_bytes(), contract.approx_bytes() + 16);
     }
 }

@@ -1,0 +1,105 @@
+//! Accumulation semantics of [`Trace::merge`], exercised the way the
+//! live repartitioning session uses them: one long-lived session trace
+//! absorbs a per-segment trace after every window, across many windows,
+//! and the result must behave as if the whole run had been recorded
+//! into a single trace — records concatenate, counters *sum*, and
+//! latency histograms merge bin-wise. A merge that overwrote instead of
+//! accumulated would silently halve the live path's commit counts and
+//! corrupt its before/during/after latency percentiles.
+
+use blockpart_obs::{Collector, Record, Trace};
+
+/// One window's worth of worker activity: a span per transaction, a
+/// `commits` counter increment and a latency observation each.
+fn segment(window: usize, txs: u64) -> Trace {
+    let mut t = Trace::new_virtual();
+    t.set_lane(0, window as u32);
+    for i in 0..txs {
+        let ts = (window as u64) * 1_000 + i * 10;
+        t.record(Record::span(ts, 5, "tx", format!("w{window}-tx{i}")));
+        t.add("commits", 1);
+        t.observe_us("commit_latency_us", 100 + i);
+    }
+    t
+}
+
+#[test]
+fn repeated_merges_accumulate_like_one_recording() {
+    let windows: Vec<u64> = vec![3, 5, 2, 7];
+
+    // the live-session shape: merge one segment trace per window
+    let mut session = Trace::new_virtual();
+    for (w, &txs) in windows.iter().enumerate() {
+        session.merge(segment(w, txs));
+    }
+
+    let total: u64 = windows.iter().sum();
+    assert_eq!(session.records().len(), total as usize);
+    assert_eq!(session.metrics().counter("commits"), total);
+    let hist = session
+        .metrics()
+        .histogram("commit_latency_us")
+        .expect("histogram survives merging");
+    assert_eq!(hist.count(), total);
+
+    // equivalent single recording
+    let mut single = Trace::new_virtual();
+    for (w, &txs) in windows.iter().enumerate() {
+        for i in 0..txs {
+            let ts = (w as u64) * 1_000 + i * 10;
+            single.record(Record::span(ts, 5, "tx", format!("w{w}-tx{i}")));
+            single.add("commits", 1);
+            single.observe_us("commit_latency_us", 100 + i);
+        }
+    }
+    assert_eq!(
+        session.metrics().counter("commits"),
+        single.metrics().counter("commits")
+    );
+    assert_eq!(
+        session.metrics().render_text(),
+        single.metrics().render_text()
+    );
+}
+
+#[test]
+fn merge_then_sort_is_deterministic_in_shard_order() {
+    // two workers emit records at the *same* virtual instant; merging in
+    // shard order and stable-sorting must yield the same sequence no
+    // matter how the workers ran
+    let make = |name: &str, thread: u32| {
+        let mut t = Trace::new_virtual();
+        t.set_lane(0, thread);
+        t.record(Record::instant(500, "barrier", name.to_string()));
+        t
+    };
+    let mut a = Trace::new_virtual();
+    a.merge(make("shard-0", 0));
+    a.merge(make("shard-1", 1));
+    a.sort_by_time();
+
+    let mut b = Trace::new_virtual();
+    b.merge(make("shard-0", 0));
+    b.merge(make("shard-1", 1));
+    b.sort_by_time();
+
+    let names = |t: &Trace| {
+        t.records()
+            .iter()
+            .map(|r| r.name.clone())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(names(&a), names(&b));
+    assert_eq!(
+        names(&a),
+        vec!["shard-0".to_string(), "shard-1".to_string()]
+    );
+}
+
+#[test]
+fn merging_into_a_disabled_trace_is_a_no_op() {
+    let mut off = Trace::disabled();
+    off.merge(segment(0, 4));
+    assert!(off.records().is_empty());
+    assert_eq!(off.metrics().counter("commits"), 0);
+}

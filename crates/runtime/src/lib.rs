@@ -41,6 +41,7 @@
 pub mod clock;
 pub mod coordinator;
 pub mod event;
+mod live;
 pub mod locks;
 pub mod net;
 pub mod report;
@@ -50,13 +51,15 @@ use std::collections::{BTreeMap, HashMap};
 
 use blockpart_ethereum::{ExecutedTx, World};
 use blockpart_obs::Trace;
+use blockpart_shard::AssignmentDelta;
 use blockpart_types::{Address, ShardCount, ShardId};
 
-use crate::clock::EventQueue;
+use crate::clock::{EventQueue, Micros};
 use crate::event::{Event, TxId};
 use crate::net::NetworkModel;
-use crate::shard_worker::{mix64, Ctx, ShardWorker, TxRecord};
+use crate::shard_worker::{mix64, Ctx, ShardWorker, TxKind, TxRecord};
 
+pub use crate::live::{LiveSession, MigrationConfig, MigrationStats, SegmentReport};
 pub use crate::report::{RuntimeReport, ShardReport};
 
 /// Address-lane stride keeping per-shard allocators disjoint.
@@ -226,6 +229,26 @@ impl Assignment {
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }
+
+    /// The explicitly mapped addresses and their shards.
+    pub fn mapped(&self) -> impl Iterator<Item = (Address, ShardId)> + '_ {
+        self.map.iter().map(|(&a, &s)| (a, s))
+    }
+
+    /// The delta from `self` to `next`: every address (mapped by either
+    /// side) whose owning shard changes, including hash-fallback
+    /// transitions. This is the single source of truth for "vertices
+    /// moved" — the live migration service ships exactly these batches,
+    /// and the offline simulator counts the same quantity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two assignments' shard counts differ.
+    pub fn diff(&self, next: &Assignment) -> AssignmentDelta {
+        assert_eq!(self.k, next.k(), "assignments span different shard counts");
+        let union = self.map.keys().chain(next.map.keys()).copied();
+        AssignmentDelta::between(union, |a| self.shard_of(a), |a| next.shard_of(a))
+    }
 }
 
 /// How much the engine collects while replaying: nothing, metrics only
@@ -299,7 +322,7 @@ impl ShardedRuntime {
         detail: Detail,
     ) -> (RuntimeReport, Trace) {
         let records = self.build_records(txs);
-        let mut workers = self.build_workers(world);
+        let mut workers = build_workers(&self.cfg, &self.assignment, world);
         if detail != Detail::Off {
             for worker in &mut workers {
                 let mut obs = match detail {
@@ -323,51 +346,7 @@ impl ShardedRuntime {
         for (i, rec) in records.iter().enumerate() {
             queue.push(rec.arrival_us, rec.home, Event::Arrival(TxId(i as u32)));
         }
-
-        let k = self.cfg.k.as_usize();
-        while let Some((now, batch)) = queue.pop_batch() {
-            let mut buckets: Vec<Vec<Event>> = vec![Vec::new(); k];
-            let batch_len = batch.len();
-            for (shard, event) in batch {
-                buckets[shard.as_usize()].push(event);
-            }
-            let active = buckets.iter().filter(|b| !b.is_empty()).count();
-            let mut outs: Vec<Vec<shard_worker::Emit>> = Vec::new();
-            outs.resize_with(k, Vec::new);
-            // threads only pay off when a batch carries real work: typical
-            // message batches are 2-3 events of microsecond bookkeeping,
-            // which thread spawn/join would dwarf
-            if active <= 1 || batch_len < self.cfg.parallel_batch_threshold {
-                for (slot, (worker, events)) in outs.iter_mut().zip(workers.iter_mut().zip(buckets))
-                {
-                    if !events.is_empty() {
-                        *slot = worker.handle_batch(now, events, &ctx);
-                    }
-                }
-            } else {
-                let ctx_ref = &ctx;
-                crossbeam::thread::scope(|scope| {
-                    for (slot, (worker, events)) in
-                        outs.iter_mut().zip(workers.iter_mut().zip(buckets))
-                    {
-                        if events.is_empty() {
-                            continue;
-                        }
-                        scope.spawn(move |_| {
-                            *slot = worker.handle_batch(now, events, ctx_ref);
-                        });
-                    }
-                })
-                .expect("shard worker panicked");
-            }
-            // merge in shard order: deterministic sequence numbering
-            for emits in outs {
-                for e in emits {
-                    debug_assert!(e.at >= now, "event scheduled in the past");
-                    queue.push(e.at, e.shard, e.event);
-                }
-            }
-        }
+        drive(&mut workers, &mut queue, &ctx);
 
         // merge worker trace buffers in shard order, then time-sort:
         // virtual timestamps make the result independent of how many
@@ -394,46 +373,15 @@ impl ShardedRuntime {
         txs.iter()
             .enumerate()
             .map(|(i, e)| {
-                let mut parts: BTreeMap<ShardId, Vec<Address>> = BTreeMap::new();
-                for &a in &e.touched {
-                    parts
-                        .entry(self.assignment.shard_of(a))
-                        .or_default()
-                        .push(a);
-                }
-                TxRecord {
-                    arrival_us: i as u64 * self.cfg.inter_arrival_us,
-                    block_time: e.time,
-                    tx: e.tx,
-                    home: self.assignment.shard_of(e.tx.from),
-                    parts: parts.into_iter().collect(),
-                    entropy: mix64(self.cfg.seed ^ (i as u64)),
-                }
+                payload_record(
+                    &self.cfg,
+                    &self.assignment,
+                    e,
+                    i as u64,
+                    i as u64 * self.cfg.inter_arrival_us,
+                )
             })
             .collect()
-    }
-
-    /// Slices the canonical world into per-shard worlds with disjoint
-    /// address-allocation lanes.
-    fn build_workers(&self, world: &World) -> Vec<ShardWorker> {
-        let base = world.address_floor();
-        let mut workers: Vec<ShardWorker> = self
-            .cfg
-            .k
-            .iter()
-            .map(|s| {
-                let mut slice = World::new();
-                slice.raise_address_floor(base + (s.as_usize() as u64 + 1) * ADDRESS_LANE);
-                ShardWorker::new(s, slice)
-            })
-            .collect();
-        for a in world.addresses() {
-            let shard = self.assignment.shard_of(a);
-            if let Some(state) = world.export_state(a) {
-                workers[shard.as_usize()].world.install_state(a, state);
-            }
-        }
-        workers
     }
 
     fn assemble_report(&self, records: &[TxRecord], workers: Vec<ShardWorker>) -> RuntimeReport {
@@ -509,6 +457,105 @@ impl ShardedRuntime {
             per_shard,
         }
     }
+}
+
+/// Slices the canonical world into per-shard worlds with disjoint
+/// address-allocation lanes.
+fn build_workers(cfg: &RuntimeConfig, assignment: &Assignment, world: &World) -> Vec<ShardWorker> {
+    let base = world.address_floor();
+    let mut workers: Vec<ShardWorker> = cfg
+        .k
+        .iter()
+        .map(|s| {
+            let mut slice = World::new();
+            slice.raise_address_floor(base + (s.as_usize() as u64 + 1) * ADDRESS_LANE);
+            ShardWorker::new(s, slice)
+        })
+        .collect();
+    for a in world.addresses() {
+        let shard = assignment.shard_of(a);
+        if let Some(state) = world.export_state(a) {
+            workers[shard.as_usize()].world.install_state(a, state);
+        }
+    }
+    workers
+}
+
+/// Builds the replay record of one payload transaction: footprint split
+/// by shard under `assignment`, entropy drawn from the global index so
+/// a live session's segments reproduce a single continuous stream.
+fn payload_record(
+    cfg: &RuntimeConfig,
+    assignment: &Assignment,
+    e: &ExecutedTx,
+    global_index: u64,
+    arrival_us: Micros,
+) -> TxRecord {
+    let mut parts: BTreeMap<ShardId, Vec<Address>> = BTreeMap::new();
+    for &a in &e.touched {
+        parts.entry(assignment.shard_of(a)).or_default().push(a);
+    }
+    TxRecord {
+        arrival_us,
+        block_time: e.time,
+        tx: e.tx,
+        home: assignment.shard_of(e.tx.from),
+        parts: parts.into_iter().collect(),
+        entropy: mix64(cfg.seed ^ global_index),
+        kind: TxKind::Payload,
+    }
+}
+
+/// Runs the discrete-event loop until the queue drains, dispatching each
+/// same-instant batch to the per-shard workers (serially or on one
+/// thread per shard, gated by `parallel_batch_threshold`) and merging
+/// the emitted events back in shard order. Returns the virtual time of
+/// the last processed batch. Shared by one-shot runs and live sessions.
+fn drive(workers: &mut [ShardWorker], queue: &mut EventQueue, ctx: &Ctx<'_>) -> Micros {
+    let k = workers.len();
+    let mut last_now = 0;
+    while let Some((now, batch)) = queue.pop_batch() {
+        last_now = now;
+        let mut buckets: Vec<Vec<Event>> = vec![Vec::new(); k];
+        let batch_len = batch.len();
+        for (shard, event) in batch {
+            buckets[shard.as_usize()].push(event);
+        }
+        let active = buckets.iter().filter(|b| !b.is_empty()).count();
+        let mut outs: Vec<Vec<shard_worker::Emit>> = Vec::new();
+        outs.resize_with(k, Vec::new);
+        // threads only pay off when a batch carries real work: typical
+        // message batches are 2-3 events of microsecond bookkeeping,
+        // which thread spawn/join would dwarf
+        if active <= 1 || batch_len < ctx.cfg.parallel_batch_threshold {
+            for (slot, (worker, events)) in outs.iter_mut().zip(workers.iter_mut().zip(buckets)) {
+                if !events.is_empty() {
+                    *slot = worker.handle_batch(now, events, ctx);
+                }
+            }
+        } else {
+            crossbeam::thread::scope(|scope| {
+                for (slot, (worker, events)) in outs.iter_mut().zip(workers.iter_mut().zip(buckets))
+                {
+                    if events.is_empty() {
+                        continue;
+                    }
+                    scope.spawn(move |_| {
+                        *slot = worker.handle_batch(now, events, ctx);
+                    });
+                }
+            })
+            .expect("shard worker panicked");
+        }
+        // merge in shard order: deterministic sequence numbering
+        for emits in outs {
+            for e in emits {
+                debug_assert!(e.at >= now, "event scheduled in the past");
+                queue.push(e.at, e.shard, e.event);
+            }
+        }
+    }
+    last_now
 }
 
 #[cfg(test)]

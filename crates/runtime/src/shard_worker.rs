@@ -21,6 +21,21 @@ use crate::locks::LockTable;
 use crate::net::{Message, NetworkModel, Payload};
 use crate::RuntimeConfig;
 
+/// What a [`TxRecord`] represents: a payload transaction from the
+/// workload, or a state-migration batch injected by a live
+/// repartitioning session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum TxKind {
+    /// An ordinary transaction executed through the VM.
+    Payload,
+    /// A migration batch: the coordinator is the *destination* shard,
+    /// the single participant is the source. Prepare locks + ships the
+    /// moving state; commit removes it from the source while the
+    /// coordinator installs it. No VM involved — the "execution" step
+    /// models the install cost, sized by the bytes shipped.
+    Migration,
+}
+
 /// One transaction prepared for replay: arrival time, footprint split by
 /// shard, and the deterministic entropy its re-execution uses.
 pub(crate) struct TxRecord {
@@ -36,12 +51,16 @@ pub(crate) struct TxRecord {
     pub parts: Vec<(ShardId, Vec<Address>)>,
     /// Per-transaction entropy for the VM's `RAND` opcode.
     pub entropy: u64,
+    /// Payload transaction or migration batch.
+    pub kind: TxKind,
 }
 
 impl TxRecord {
-    /// Whether the footprint spans more than one shard.
+    /// Whether the record needs 2PC coordination: a footprint spanning
+    /// more than one shard, or any migration batch (whose source is by
+    /// construction a different shard than its coordinator).
     pub fn is_cross(&self) -> bool {
-        self.parts.len() > 1
+        self.parts.len() > 1 || self.kind == TxKind::Migration
     }
 
     /// The footprint addresses owned by `shard` (empty if not a
@@ -97,12 +116,22 @@ pub(crate) struct WorkerStats {
     pub abort_causes: BTreeMap<&'static str, u64>,
     pub latencies_us: Vec<u64>,
     pub last_commit_us: Micros,
+    /// Migration batches this shard coordinated to completion.
+    pub migration_batches: u64,
+    /// Accounts whose owning shard changed via completed batches.
+    pub migrated_accounts: u64,
+    /// State bytes shipped into this shard by completed batches.
+    pub migrated_bytes: u64,
+    /// Completion instant of the last migration batch coordinated here.
+    pub migration_last_us: Micros,
 }
 
 pub(crate) struct ShardWorker {
     pub id: ShardId,
     pub world: World,
-    locks: LockTable,
+    /// Crate-visible so a live session can install migration guard
+    /// locks at an epoch barrier, before the segment's events flow.
+    pub locks: LockTable,
     queue: VecDeque<Work>,
     running: Option<Work>,
     coords: HashMap<TxId, CoordState>,
@@ -128,6 +157,13 @@ impl ShardWorker {
             obs: Trace::disabled(),
             idle_from: 0,
         }
+    }
+
+    /// Whether the worker has no in-flight work: idle execution unit,
+    /// empty run queue, no open coordinations. Holds at every epoch
+    /// barrier (the event queue only drains once all 2PC rounds finish).
+    pub fn is_quiescent(&self) -> bool {
+        self.running.is_none() && self.queue.is_empty() && self.coords.is_empty()
     }
 
     /// Processes this shard's slice of one same-instant event batch and
@@ -161,16 +197,28 @@ impl ShardWorker {
         let coord = self.coords.get_mut(&tx).expect("coordinator state exists");
         let attempt = coord.attempt;
         *coord = CoordState::new_round(attempt, rec.parts.len());
-        self.stats.prepare_rounds += 1;
-        if self.obs.events() {
-            self.obs.record(
-                Record::instant(now, "2pc", "2pc.prepare")
-                    .with_arg("tx", tx.0)
-                    .with_arg("attempt", attempt)
-                    .with_arg("shards", rec.parts.len()),
-            );
+        if rec.kind == TxKind::Migration {
+            // migration rounds are accounted separately so they never
+            // distort the foreground abort rate
+            if self.obs.events() {
+                self.obs.record(
+                    Record::instant(now, "migration", "migration.prepare")
+                        .with_arg("tx", tx.0)
+                        .with_arg("accounts", rec.addrs_on(rec.parts[0].0).len()),
+                );
+            }
+        } else {
+            self.stats.prepare_rounds += 1;
+            if self.obs.events() {
+                self.obs.record(
+                    Record::instant(now, "2pc", "2pc.prepare")
+                        .with_arg("tx", tx.0)
+                        .with_arg("attempt", attempt)
+                        .with_arg("shards", rec.parts.len()),
+                );
+            }
+            self.obs.add("prepare_rounds", 1);
         }
-        self.obs.add("prepare_rounds", 1);
         for &(shard, _) in &rec.parts {
             out.push(Emit {
                 at: now + ctx.net.delay(self.id, shard),
@@ -264,6 +312,12 @@ impl ShardWorker {
             return;
         }
         // abort the round: release the locks the yes-voters hold
+        debug_assert!(
+            ctx.txs[tx.as_usize()].kind != TxKind::Migration,
+            "migration prepares cannot conflict: routing swaps before the \
+             segment, so no foreground footprint references moving state \
+             on the source shard"
+        );
         self.stats.aborted_rounds += 1;
         let locked = std::mem::take(&mut coord.locked);
         let attempt = coord.attempt;
@@ -322,8 +376,17 @@ impl ShardWorker {
         ctx: &Ctx<'_>,
         out: &mut Vec<Emit>,
     ) {
-        for (a, state) in writes {
-            self.world.install_state(a, state);
+        let rec = &ctx.txs[tx.as_usize()];
+        if rec.kind == TxKind::Migration {
+            // migration commit at the source: the destination installed
+            // the shipped copies, so the originals are discarded here
+            for &a in rec.addrs_on(self.id) {
+                self.world.take_state(a);
+            }
+        } else {
+            for (a, state) in writes {
+                self.world.install_state(a, state);
+            }
         }
         self.locks.release(tx);
         let coordinator = ctx.txs[tx.as_usize()].home;
@@ -348,6 +411,23 @@ impl ShardWorker {
         }
         let attempts = coord.attempt;
         self.coords.remove(&tx);
+        let rec = &ctx.txs[tx.as_usize()];
+        if rec.kind == TxKind::Migration {
+            let accounts: u64 = rec.parts.iter().map(|(_, a)| a.len() as u64).sum();
+            self.stats.migration_batches += 1;
+            self.stats.migrated_accounts += accounts;
+            self.stats.migration_last_us = self.stats.migration_last_us.max(now);
+            if self.obs.events() {
+                self.obs.record(
+                    Record::instant(now, "migration", "migration.commit")
+                        .with_arg("tx", tx.0)
+                        .with_arg("accounts", accounts),
+                );
+            }
+            self.obs.add("migration/batches", 1);
+            self.obs.add("migration/accounts", accounts);
+            return;
+        }
         self.record_commit(tx, now, ctx);
         self.stats.cross_committed += 1;
         if self.obs.events() {
@@ -408,6 +488,10 @@ impl ShardWorker {
             Work::Local(tx) | Work::CrossExec(tx) => tx,
         };
         let rec = &ctx.txs[tx.as_usize()];
+        if rec.kind == TxKind::Migration {
+            self.start_migration_install(tx, now, ctx, out);
+            return;
+        }
         let vm_ctx = ExecContext::new(rec.block_time, rec.entropy, rec.tx.gas_limit)
             .with_schedule(GasSchedule::eip150());
         let receipt = match work {
@@ -457,6 +541,44 @@ impl ShardWorker {
         });
     }
 
+    /// Occupies the execution unit with a migration batch's install
+    /// step: no VM, the duration models copying the shipped bytes in.
+    /// The unit is busy for real, which is exactly how migrations
+    /// degrade foreground throughput.
+    fn start_migration_install(
+        &mut self,
+        tx: TxId,
+        now: Micros,
+        ctx: &Ctx<'_>,
+        out: &mut Vec<Emit>,
+    ) {
+        let coord = self.coords.get_mut(&tx).expect("migration without state");
+        let bytes: u64 = coord.shipped.iter().map(|(_, s)| s.approx_bytes()).sum();
+        let exec_us = (bytes / ctx.cfg.gas_per_us.max(1)).max(ctx.cfg.min_exec_us);
+        self.stats.busy_us += exec_us;
+        self.stats.migrated_bytes += bytes;
+        if self.obs.events() {
+            if now > self.idle_from {
+                self.obs
+                    .span_at(self.idle_from, now - self.idle_from, "worker", "idle");
+            }
+            self.obs.record(
+                Record::span(now, exec_us, "migration", "migration.install")
+                    .with_arg("tx", tx.0)
+                    .with_arg("bytes", bytes),
+            );
+        }
+        self.obs.add("migration/bytes", bytes);
+        self.obs.observe_us("exec_us", exec_us);
+        self.idle_from = now + exec_us;
+        self.running = Some(Work::CrossExec(tx));
+        out.push(Emit {
+            at: now + exec_us,
+            shard: self.id,
+            event: Event::ExecDone(tx),
+        });
+    }
+
     /// Counts executed touches outside the declared footprint — the
     /// divergence between the canonical access list and what the sharded
     /// re-execution actually did.
@@ -477,6 +599,10 @@ impl ShardWorker {
 
     fn on_exec_done(&mut self, tx: TxId, now: Micros, ctx: &Ctx<'_>, out: &mut Vec<Emit>) {
         let work = self.running.take().expect("exec-done while idle");
+        if ctx.txs[tx.as_usize()].kind == TxKind::Migration {
+            self.on_migration_installed(tx, now, ctx, out);
+            return;
+        }
         match work {
             Work::Local(_) => {
                 self.locks.release(tx);
@@ -509,6 +635,41 @@ impl ShardWorker {
                     });
                 }
             }
+        }
+    }
+}
+
+impl ShardWorker {
+    /// Destination side of a migration batch, after the install step:
+    /// the shipped state goes live on this shard, the guard locks that
+    /// kept foreground transactions off the moving addresses drop, and
+    /// the source is told to discard its copies.
+    fn on_migration_installed(
+        &mut self,
+        tx: TxId,
+        now: Micros,
+        ctx: &Ctx<'_>,
+        out: &mut Vec<Emit>,
+    ) {
+        let rec = &ctx.txs[tx.as_usize()];
+        let coord = self.coords.get_mut(&tx).expect("install without state");
+        coord.acks_pending = rec.parts.len();
+        for (a, state) in std::mem::take(&mut coord.shipped) {
+            self.world.install_state(a, state);
+        }
+        self.locks.release(tx);
+        for &(shard, _) in &rec.parts {
+            out.push(Emit {
+                at: now + ctx.net.delay(self.id, shard),
+                shard,
+                event: Event::Net(Message {
+                    from: self.id,
+                    payload: Payload::Commit {
+                        tx,
+                        writes: Vec::new(),
+                    },
+                }),
+            });
         }
     }
 }

@@ -38,15 +38,19 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+mod delta;
 mod placement;
 mod policy;
 mod simulator;
 mod state;
+mod window;
 
 pub use cost::{CostModel, CrossShardMode};
+pub use delta::{AssignmentDelta, MigrationBatch};
 pub use placement::PlacementRule;
 pub use policy::{RepartitionPolicy, RepartitionScope};
 pub use simulator::{ShardSimulator, SimulationResult, SimulatorConfig, WindowRecord};
 pub use state::ShardedState;
+pub use window::WindowedGraph;
 
 pub use blockpart_types::{ShardCount, ShardId};

@@ -8,6 +8,7 @@ use blockpart_partition::{PartitionRequest, Partitioner};
 use blockpart_types::{Address, Duration, ShardCount, Timestamp};
 use serde::{Deserialize, Serialize};
 
+use crate::delta::AssignmentDelta;
 use crate::placement::PlacementRule;
 use crate::policy::{RepartitionPolicy, RepartitionScope};
 use crate::state::ShardedState;
@@ -441,19 +442,26 @@ impl ShardSimulator {
         }
 
         let t2 = obs.now_us();
-        let mut moves = 0u64;
+        // derive the move set from the assignment delta — the same type
+        // the live migration service batches from — then apply it
+        let index: HashMap<Address, usize> =
+            order.iter().enumerate().map(|(i, &a)| (a, i)).collect();
+        let delta = AssignmentDelta::between(
+            order.iter().copied(),
+            |a| self.state.shard_of(a).expect("scoped vertex is assigned"),
+            |a| new_partition.shard_of(index[&a]),
+        );
+        let moves = delta.total_moved();
         let mut units = 0u64;
-        for (i, &address) in order.iter().enumerate() {
-            let target = new_partition.shard_of(i);
-            if self.state.move_vertex(address, target) {
-                moves += 1;
-                units += 1 + self
-                    .config
-                    .contract_sizes
-                    .get(&address)
-                    .copied()
-                    .unwrap_or(0);
-            }
+        for (address, _, to) in delta.moves() {
+            let moved = self.state.move_vertex(address, to);
+            debug_assert!(moved, "delta move must change the shard");
+            units += 1 + self
+                .config
+                .contract_sizes
+                .get(&address)
+                .copied()
+                .unwrap_or(0);
         }
         if obs.enabled() {
             let t3 = obs.now_us();

@@ -6,6 +6,17 @@ use blockpart_graph::Csr;
 use blockpart_partition::Partition;
 use blockpart_types::{AccountKind, Address, ShardCount, ShardId};
 
+/// Eq. 2 balance of an arbitrary per-shard activity vector: the most
+/// loaded shard's share of the total, normalised so 1.0 is perfect.
+pub(crate) fn activity_balance(activity: &[u64]) -> f64 {
+    let total: u64 = activity.iter().sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let max = *activity.iter().max().expect("k >= 1");
+    max as f64 * activity.len() as f64 / total as f64
+}
+
 /// The cumulative blockchain graph together with the current shard
 /// assignment, maintained incrementally so that per-window metric queries
 /// are O(1) and vertex moves are O(degree).

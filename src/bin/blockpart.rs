@@ -7,6 +7,8 @@
 //! blockpart offline  --scale 0.001 --shards 2     # streaming vs multilevel
 //! blockpart runtime  --scale 0.001 --shards 1,2,4 # 2PC execution replay
 //! blockpart runtime  --trace out.json --metrics metrics.txt
+//! blockpart live     --strategy tr-metis --k 4    # online repartitioning
+//! blockpart live     --strategy tr-metis --k 4 --json --trace live.json
 //! blockpart profile  --scale 0.001 --shards 2,4   # stage → time self-profile
 //! blockpart list-strategies
 //! blockpart help
@@ -25,6 +27,7 @@ use blockpart::core::ablation::{offline_partitioner_comparison, offline_table};
 use blockpart::core::{run_profile, Experiment, ExperimentReport, StrategyRegistry};
 use blockpart::ethereum::gen::{ChainGenerator, GeneratorConfig};
 use blockpart::graph::io::write_trace;
+use blockpart::live::{LiveConfig, LiveRunner};
 use blockpart::obs::perfetto;
 use blockpart::types::{Duration, ShardCount};
 
@@ -63,6 +66,20 @@ COMMANDS:
                --trace <path>    Perfetto trace_event JSON (the replay's
                                  virtual-clock slice is deterministic)
                --metrics <path>  flat metrics text dump
+    live       drive the chain's transaction stream through the online
+               repartitioning service: windowed decaying graph, the
+               strategy's trigger policy, and real 2PC state migrations,
+               starting from hash placement
+               --scale, --seed as above
+               --strategy <s>    partitioner/trigger strategy spec
+                                                      (default tr-metis)
+               --k <n>           shard count           (default 4)
+               --window-hours <n> measurement window   (default 4)
+               --latency-us <n>  one-way net latency   (default 1000)
+               --arrival-us <n>  arrival gap / offered load (default 500)
+               --json            machine-readable MigrationReport
+               --trace <path>    Perfetto trace_event JSON of the live
+                                 session (virtual-clock, deterministic)
     profile    self-profile the serial pipeline (chain-gen → graph-build →
                csr → partition → simulate → replay) and print the
                stage → time table
@@ -147,6 +164,25 @@ fn run(registry: &StrategyRegistry, args: &[String]) -> Result<(), String> {
                 ],
             )?;
             cmd_runtime(registry, &opts)
+        }
+        "live" => {
+            ensure_known_options(
+                &opts,
+                "live",
+                &[
+                    "scale",
+                    "seed",
+                    "strategy",
+                    "k",
+                    "shards",
+                    "window-hours",
+                    "latency-us",
+                    "arrival-us",
+                    "json",
+                    "trace",
+                ],
+            )?;
+            cmd_live(registry, &opts)
         }
         "profile" => {
             ensure_known_options(
@@ -448,6 +484,70 @@ fn cmd_runtime(registry: &StrategyRegistry, opts: &HashMap<String, String>) -> R
                 );
             }
         }
+    }
+    Ok(())
+}
+
+fn cmd_live(registry: &StrategyRegistry, opts: &HashMap<String, String>) -> Result<(), String> {
+    // validate all options before the (expensive) generation
+    let spec_str = opts.get("strategy").map_or("tr-metis", String::as_str);
+    let spec = registry.resolve(spec_str).map_err(|e| e.to_string())?;
+    let k = match (opts.get("k"), opts.get("shards")) {
+        (Some(_), Some(_)) => return Err("both --k and --shards given; use one".into()),
+        (None, None) => ShardCount::new(4).expect("non-zero"),
+        (Some(s), None) | (None, Some(s)) => s
+            .trim()
+            .parse::<u16>()
+            .ok()
+            .and_then(ShardCount::new)
+            .ok_or_else(|| format!("invalid shard count `{s}`"))?,
+    };
+    let window_hours = micros_of(opts, "window-hours", 4)?;
+    if window_hours == 0 {
+        return Err("--window-hours must be positive".into());
+    }
+    let window = Duration::hours(window_hours);
+    let seed = seed_of(opts)?;
+    let latency_us = micros_of(opts, "latency-us", 1_000)?;
+    let arrival_us = micros_of(opts, "arrival-us", 500)?;
+    let chain = generate(opts)?;
+
+    // the strategy's own trigger/scope settings drive the live loop
+    let sim_cfg = spec.simulator_config(k);
+    let depth = (sim_cfg.scope_window.as_secs() / window.as_secs()).max(1) as usize;
+    let mut runtime_cfg = spec
+        .runtime_config(k)
+        .with_seed(seed)
+        .with_net_latency_us(latency_us)
+        .with_inter_arrival_us(arrival_us);
+    runtime_cfg.k = k;
+    let cfg = LiveConfig::new(k)
+        .with_window(window)
+        .with_depth(depth)
+        .with_policy(sim_cfg.policy)
+        .with_runtime(runtime_cfg)
+        .with_tracing(opts.contains_key("trace"))
+        .with_label(spec.name());
+    eprintln!(
+        "live run: {} at k={}, {}h windows × depth {}...",
+        spec.name(),
+        k.get(),
+        window_hours,
+        depth
+    );
+    let mut runner = LiveRunner::new(cfg, spec.build_partitioner(seed));
+    let run = runner.run(chain.chain.world(), &chain.txs);
+    if json_of(opts) {
+        println!("{}", run.report.json().render_pretty());
+    } else {
+        println!("{}", run.report.headline());
+        if run.report.migrations() > 0 {
+            println!("\nmigration episodes (foreground before/during/after):");
+            println!("{}", run.report.episode_table().render_ascii());
+        }
+    }
+    if let Some(path) = opts.get("trace") {
+        write_perfetto(path, &run.session.finish())?;
     }
     Ok(())
 }

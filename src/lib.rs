@@ -17,6 +17,9 @@
 //! * [`shard`] — the sharding simulator (placement, repartition policies,
 //!   move accounting);
 //! * [`runtime`] — the sharded 2PC execution engine;
+//! * [`live`] — the online repartitioning service: windowed graph,
+//!   triggered re-partition, live state migration through the 2PC
+//!   runtime;
 //! * [`metrics`] — summary statistics and report rendering;
 //! * [`obs`] — spans/events, a metrics registry and Perfetto/profile
 //!   exporters (virtual-clock traces are deterministic);
@@ -60,6 +63,7 @@
 pub use blockpart_core as core;
 pub use blockpart_ethereum as ethereum;
 pub use blockpart_graph as graph;
+pub use blockpart_live as live;
 pub use blockpart_metrics as metrics;
 pub use blockpart_obs as obs;
 pub use blockpart_partition as partition;
