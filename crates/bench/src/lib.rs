@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod perf;
+pub mod scenario_matrix;
 
 use blockpart_ethereum::gen::{ChainGenerator, GeneratorConfig};
 use blockpart_ethereum::SyntheticChain;

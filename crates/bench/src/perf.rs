@@ -24,10 +24,18 @@
 //! vs `csr`, `kway-serial` vs `kway`). All parallel paths are
 //! deterministic in their worker count, so the two rows of each pair
 //! time *the same computation*.
+//!
+//! The `scenario-*` stages score hostile workloads from the
+//! [`ScenarioRegistry`] (see
+//! [`SCENARIOS`]): generation cost, TR-METIS offline simulation, and —
+//! from a single deterministic live run — `scenario-live-migration-vclock`
+//! and `scenario-live-during-p99-vclock` rows that gate the migration
+//! path's behavior under adversarial traffic, calibration-exempt like
+//! every virtual-clock row.
 
 use std::time::Instant;
 
-use blockpart_core::StrategyRegistry;
+use blockpart_core::{ScenarioRegistry, StrategyRegistry};
 use blockpart_ethereum::gen::{ChainGenerator, GeneratorConfig};
 use blockpart_ethereum::SyntheticChain;
 use blockpart_graph::InteractionLog;
@@ -43,6 +51,9 @@ pub const SCHEMA: &str = "blockpart.bench/1";
 
 /// The strategies the workload matrix sweeps.
 pub const STRATEGIES: [&str; 3] = ["hash", "metis", "r-metis"];
+
+/// The adversarial scenarios scored by the `scenario-*` stages.
+pub const SCENARIOS: [&str; 2] = ["hub-burst", "dummy-spam"];
 
 /// Harness configuration: workload scale and timing discipline.
 #[derive(Clone, Debug, PartialEq)]
@@ -662,6 +673,79 @@ pub fn run(config: &PerfConfig) -> PerfReport {
             "live-during-p99-vclock",
             Some("tr-metis"),
             Some(k),
+            live.report.worst_during_p99_us() as f64 / 1e3,
+            None,
+        );
+    }
+
+    // ---- adversarial scenarios -----------------------------------------
+    // Hostile workloads from the scenario registry, scored at the
+    // smallest configured shard count: generation cost, TR-METIS offline
+    // simulation, and the deterministic virtual-clock quantities of one
+    // live run (a single run suffices — the report is bit-stable).
+    let scenarios = ScenarioRegistry::with_builtins();
+    let k0 = *config
+        .shard_counts
+        .first()
+        .expect("at least one shard count");
+    let scenario_k = ShardCount::new(k0).expect("non-zero shard count");
+    for name in SCENARIOS {
+        let scenario = scenarios.resolve(name).expect("built-in scenario resolves");
+        let (ms, hostile) =
+            time_stage(config.warmup, config.trials, || scenario.build(&gen_config));
+        push(
+            "scenario-gen",
+            Some(name),
+            None,
+            ms,
+            throughput(hostile.txs.len(), ms),
+        );
+
+        let (ms, _) = time_stage(config.warmup, config.trials, || {
+            let mut sim = ShardSimulator::new(
+                live_spec.simulator_config(scenario_k),
+                live_spec.build_partitioner(config.seed),
+            );
+            sim.run(&hostile.log);
+            sim
+        });
+        push(
+            "scenario-sim",
+            Some(name),
+            Some(k0),
+            ms,
+            throughput(hostile.log.len(), ms),
+        );
+
+        let sim_config = live_spec.simulator_config(scenario_k);
+        let window = Duration::hours(4);
+        let depth = (sim_config.scope_window.as_secs() / window.as_secs()).max(1) as usize;
+        let mut runtime_config = live_spec.runtime_config(scenario_k).with_seed(config.seed);
+        runtime_config.k = scenario_k;
+        let live_config = LiveConfig::new(scenario_k)
+            .with_window(window)
+            .with_depth(depth)
+            .with_policy(sim_config.policy)
+            .with_runtime(runtime_config)
+            .with_label("tr-metis");
+        let (_, live) = time_stage(0, 1, || {
+            LiveRunner::new(
+                live_config.clone(),
+                live_spec.build_partitioner(config.seed),
+            )
+            .run(hostile.chain.world(), &hostile.txs)
+        });
+        push(
+            "scenario-live-migration-vclock",
+            Some(name),
+            Some(k0),
+            live.report.migration_wall_us() as f64 / 1e3,
+            None,
+        );
+        push(
+            "scenario-live-during-p99-vclock",
+            Some(name),
+            Some(k0),
             live.report.worst_during_p99_us() as f64 / 1e3,
             None,
         );

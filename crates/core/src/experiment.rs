@@ -53,6 +53,7 @@ use blockpart_runtime::{Assignment, RuntimeReport, ShardedRuntime};
 use blockpart_shard::{ShardSimulator, SimulationResult};
 use blockpart_types::{Duration, ShardCount};
 
+use crate::scenario::{ScenarioRegistry, ScenarioSpec};
 use crate::strategy::{spec_lookup_key, StrategyError, StrategyRegistry, StrategySpec};
 
 /// A configured strategy and, when it was resolved from a spec string,
@@ -111,6 +112,10 @@ pub struct ExperimentReport {
     pub seed: u64,
     /// The measurement window.
     pub window: Duration,
+    /// The scenario the workload was generated under, when the
+    /// experiment ran a generator workload with a configured
+    /// [`ScenarioSpec`] (the friendly organic chain otherwise).
+    pub scenario: Option<String>,
     /// All runs, strategy-major in configuration order.
     pub runs: Vec<ExperimentRun>,
     /// Merged observability trace, present when tracing was enabled
@@ -256,33 +261,37 @@ impl ExperimentReport {
     }
 
     fn json_value(&self) -> Json {
-        Json::obj([
-            ("schema", Json::from("blockpart.experiment/1")),
-            ("seed", Json::from(self.seed)),
+        let mut pairs = vec![
+            ("schema".to_string(), Json::from("blockpart.experiment/1")),
+            ("seed".to_string(), Json::from(self.seed)),
             (
-                "window_hours",
+                "window_hours".to_string(),
                 Json::from(self.window.as_secs() as f64 / 3_600.0),
             ),
-            (
-                "runs",
-                Json::arr(self.runs.iter().map(|r| {
-                    let mut pairs = vec![
-                        ("strategy".to_string(), Json::from(r.strategy.as_str())),
-                        ("k".to_string(), Json::from(r.k.get())),
-                    ];
-                    if let Some(sim) = &r.offline {
-                        pairs.push(("offline".to_string(), offline_json(sim)));
-                    }
-                    if let Some(rep) = &r.runtime {
-                        pairs.push(("runtime".to_string(), runtime_json(rep)));
-                    }
-                    if let Some(live) = &r.live {
-                        pairs.push(("live".to_string(), live.json()));
-                    }
-                    Json::Obj(pairs)
-                })),
-            ),
-        ])
+        ];
+        if let Some(scenario) = &self.scenario {
+            pairs.push(("scenario".to_string(), Json::from(scenario.as_str())));
+        }
+        pairs.push((
+            "runs".to_string(),
+            Json::arr(self.runs.iter().map(|r| {
+                let mut pairs = vec![
+                    ("strategy".to_string(), Json::from(r.strategy.as_str())),
+                    ("k".to_string(), Json::from(r.k.get())),
+                ];
+                if let Some(sim) = &r.offline {
+                    pairs.push(("offline".to_string(), offline_json(sim)));
+                }
+                if let Some(rep) = &r.runtime {
+                    pairs.push(("runtime".to_string(), runtime_json(rep)));
+                }
+                if let Some(live) = &r.live {
+                    pairs.push(("live".to_string(), live.json()));
+                }
+                Json::Obj(pairs)
+            })),
+        ));
+        Json::Obj(pairs)
     }
 }
 
@@ -416,6 +425,10 @@ pub struct Experiment<'a> {
     /// Each spec may carry the spec string it was resolved from.
     strategies: Option<Vec<ConfiguredStrategy>>,
     shard_counts: Vec<ShardCount>,
+    /// The scenario applied to a generator workload (friendly chain
+    /// when unset). One chain is generated per [`run`](Experiment::run)
+    /// and shared by every strategy × k pair.
+    scenario: Option<Arc<dyn ScenarioSpec>>,
     window: Duration,
     seed: u64,
     offline: bool,
@@ -454,6 +467,7 @@ impl<'a> Experiment<'a> {
                 .iter()
                 .map(|&k| ShardCount::new(k).expect("non-zero"))
                 .collect(),
+            scenario: None,
             window: Duration::hours(4),
             seed: 0x45_58_50, // "EXP"
             offline: true,
@@ -523,6 +537,29 @@ impl<'a> Experiment<'a> {
     pub fn shard_counts(mut self, shard_counts: Vec<ShardCount>) -> Self {
         self.shard_counts = shard_counts;
         self
+    }
+
+    /// Applies an adversarial scenario to a generator workload: the
+    /// chain is synthesized through the scenario's injectors (once per
+    /// run — every strategy × k pair scores the same chain) and the
+    /// report carries the scenario's name.
+    ///
+    /// Requires a generator workload; [`run`](Self::run) panics when a
+    /// scenario is configured over a pre-built chain or bare log.
+    pub fn scenario(mut self, scenario: Arc<dyn ScenarioSpec>) -> Self {
+        self.scenario = Some(scenario);
+        self
+    }
+
+    /// Resolves `spec` (`name` or `name[key=value;...]`, `+`-composable)
+    /// against `registry` and applies it via
+    /// [`scenario`](Self::scenario).
+    pub fn named_scenario(
+        self,
+        registry: &ScenarioRegistry,
+        spec: &str,
+    ) -> Result<Self, StrategyError> {
+        Ok(self.scenario(registry.compose(spec)?))
     }
 
     /// Overrides the measurement window.
@@ -613,20 +650,29 @@ impl<'a> Experiment<'a> {
             None => Trace::disabled(),
         };
 
+        assert!(
+            self.scenario.is_none() || matches!(self.workload, WorkloadSource::Generator(_)),
+            "a scenario requires a generator workload (use Experiment::from_generator)"
+        );
         let generated;
         let gen_start = root.now_us();
         let (log, chain): (&InteractionLog, Option<&SyntheticChain>) = match &self.workload {
             WorkloadSource::Log(log) => (log, None),
             WorkloadSource::Chain(chain) => (&chain.log, Some(chain)),
             WorkloadSource::Generator(config) => {
-                generated = ChainGenerator::new(config.clone()).generate();
+                generated = match &self.scenario {
+                    Some(scenario) => scenario.build(config),
+                    None => ChainGenerator::new(config.clone()).generate(),
+                };
                 if root.enabled() {
                     let dur = root.now_us() - gen_start;
-                    root.record(
-                        Record::span(gen_start, dur, "stage", "chain-gen")
-                            .with_arg("txs", generated.txs.len())
-                            .with_arg("interactions", generated.log.len()),
-                    );
+                    let mut record = Record::span(gen_start, dur, "stage", "chain-gen")
+                        .with_arg("txs", generated.txs.len())
+                        .with_arg("interactions", generated.log.len());
+                    if let Some(scenario) = &self.scenario {
+                        record = record.with_arg("scenario", scenario.name());
+                    }
+                    root.record(record);
                 }
                 (&generated.log, Some(&generated))
             }
@@ -714,6 +760,7 @@ impl<'a> Experiment<'a> {
         ExperimentReport {
             seed: self.seed,
             window: self.window,
+            scenario: self.scenario.as_ref().map(|s| s.name().to_string()),
             runs,
             trace: self.trace.then_some(root),
         }
@@ -1006,6 +1053,43 @@ mod tests {
         // both the requested alias and the display name resolve
         assert!(report.offline("p-metis", ShardCount::TWO).is_some());
         assert!(report.offline("r-metis", ShardCount::TWO).is_some());
+    }
+
+    #[test]
+    fn scenario_workloads_report_their_name() {
+        let registry = StrategyRegistry::with_builtins();
+        let scenarios = ScenarioRegistry::with_builtins();
+        let cfg = GeneratorConfig::test_scale(5).with_scale(0.005);
+        let report = Experiment::from_generator(cfg)
+            .named_scenario(&scenarios, "hub-burst[contracts=2]")
+            .unwrap()
+            .named_strategies(&registry, "hash")
+            .unwrap()
+            .shard_counts(vec![ShardCount::TWO])
+            .run();
+        assert_eq!(report.scenario.as_deref(), Some("hub-burst[contracts=2]"));
+        assert!(report
+            .to_json()
+            .contains("\"scenario\":\"hub-burst[contracts=2]\""));
+        // without a scenario the field is absent
+        let plain = Experiment::over_log(&log())
+            .named_strategies(&registry, "hash")
+            .unwrap()
+            .shard_counts(vec![ShardCount::TWO])
+            .run();
+        assert_eq!(plain.scenario, None);
+        assert!(!plain.to_json().contains("\"scenario\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "scenario requires a generator workload")]
+    fn scenario_needs_a_generator() {
+        let chain = ChainGenerator::new(GeneratorConfig::test_scale(5)).generate();
+        let scenarios = ScenarioRegistry::with_builtins();
+        let _ = Experiment::over_chain(&chain)
+            .named_scenario(&scenarios, "friendly")
+            .unwrap()
+            .run();
     }
 
     #[test]

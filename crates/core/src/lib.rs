@@ -44,6 +44,7 @@ pub mod experiments;
 mod methods;
 mod profile;
 mod runtime_study;
+mod scenario;
 mod strategy;
 mod study;
 
@@ -51,6 +52,7 @@ pub use experiment::{Experiment, ExperimentReport, ExperimentRun};
 pub use methods::Method;
 pub use profile::{run_profile, ProfileReport};
 pub use runtime_study::{runtime_table, RuntimeRun, RuntimeStudy, RuntimeStudyResult};
+pub use scenario::{ComposedScenario, ScenarioFactory, ScenarioRegistry, ScenarioSpec};
 pub use strategy::{
     CanonicalStrategy, ResolvedStrategy, StrategyError, StrategyFactory, StrategyParams,
     StrategyRegistry, StrategySpec, StreamingStrategy,

@@ -331,7 +331,7 @@ impl StrategySpec for StreamingStrategy {
 pub struct StrategyError(String);
 
 impl StrategyError {
-    fn new(msg: impl Into<String>) -> Self {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
         StrategyError(msg.into())
     }
 }
@@ -435,12 +435,36 @@ impl StrategyParams {
             .join(";")
     }
 
+    /// Parses `key` as a positive integer.
+    pub fn usize(&self, key: &str) -> Result<Option<usize>, StrategyError> {
+        self.get(key)
+            .map(|v| match v.parse::<usize>() {
+                Ok(n) if n > 0 => Ok(n),
+                _ => Err(StrategyError::new(format!(
+                    "parameter `{key}`: `{v}` is not a positive integer"
+                ))),
+            })
+            .transpose()
+    }
+
     /// Errors when a parameter outside `allowed` was supplied.
     pub fn ensure_known(&self, strategy: &str, allowed: &[&str]) -> Result<(), StrategyError> {
+        self.ensure_known_as("strategy", strategy, allowed)
+    }
+
+    /// Like [`ensure_known`](Self::ensure_known), but names the owner as
+    /// a `kind` (e.g. "scenario") in the error message, so registries of
+    /// other parameterized things produce accurate diagnostics.
+    pub fn ensure_known_as(
+        &self,
+        kind: &str,
+        owner: &str,
+        allowed: &[&str],
+    ) -> Result<(), StrategyError> {
         for key in self.entries.keys() {
             if !allowed.contains(&key.as_str()) {
                 return Err(StrategyError::new(format!(
-                    "strategy `{strategy}` does not take parameter `{key}` (accepted: {})",
+                    "{kind} `{owner}` does not take parameter `{key}` (accepted: {})",
                     if allowed.is_empty() {
                         "none".to_string()
                     } else {
@@ -852,7 +876,7 @@ impl Default for StrategyRegistry {
 }
 
 /// Splits on commas not enclosed in `[...]`.
-fn split_top_level(text: &str) -> Vec<String> {
+pub(crate) fn split_top_level(text: &str) -> Vec<String> {
     let mut parts = Vec::new();
     let mut depth = 0usize;
     let mut current = String::new();

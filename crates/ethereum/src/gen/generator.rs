@@ -8,6 +8,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::chain::{Chain, SyntheticChain};
 use crate::gen::era::EraTimeline;
+use crate::gen::inject::{InjectCtx, TrafficInjector};
 use crate::gen::workload::Population;
 use crate::program::ContractTemplate;
 use crate::state::World;
@@ -107,6 +108,7 @@ pub struct ChainGenerator {
     config: GeneratorConfig,
     rng: SmallRng,
     population: Population,
+    injectors: Vec<Box<dyn TrafficInjector>>,
 }
 
 /// Deferred bookkeeping for transactions whose effects are only known
@@ -129,7 +131,16 @@ impl ChainGenerator {
             config,
             rng,
             population: Population::new(),
+            injectors: Vec::new(),
         }
+    }
+
+    /// Adds an adversarial traffic injector; its transactions are
+    /// appended to each block after the organic workload (injectors run
+    /// in registration order, so the output stays deterministic).
+    pub fn with_injector(mut self, injector: Box<dyn TrafficInjector>) -> Self {
+        self.injectors.push(injector);
+        self
     }
 
     /// Runs the whole timeline and returns the chain plus its log.
@@ -164,6 +175,18 @@ impl ChainGenerator {
                 let (tx, post) = self.build_tx(chain.world_mut(), t);
                 txs.push(tx);
                 posts.push(post);
+            }
+            for injector in &mut self.injectors {
+                let mut ctx = InjectCtx {
+                    world: chain.world_mut(),
+                    population: &self.population,
+                    now: t,
+                    organic: n,
+                };
+                for tx in injector.inject(&mut ctx) {
+                    txs.push(tx);
+                    posts.push(Post::None);
+                }
             }
             let submitted = txs.clone();
             let (_, receipts) = chain.apply_block_with_receipts(t, txs, &mut log);

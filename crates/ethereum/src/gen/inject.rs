@@ -1,0 +1,707 @@
+//! Adversarial traffic injectors.
+//!
+//! The friendly era timeline reproduces Ethereum's organic growth; the
+//! paper's headline anomalies are everything *else* — the 2016
+//! dummy-account attack, the 2017 ICO hub contracts, and their modern
+//! descendants (MEV bundles, account-abstraction batches, NFT mint
+//! stampedes). A [`TrafficInjector`] is a deterministic, seedable source
+//! of extra transactions appended to every generated block: the organic
+//! workload is untouched (same RNG stream, same transaction count), the
+//! injector's traffic rides on top. Scenario specs in `blockpart-core`
+//! compose these injectors into named, parameterized workloads.
+//!
+//! Determinism contract: an injector's per-block output depends only on
+//! the block time, the organic transaction count and its own RNG/carry
+//! state — never on world or population *contents* — so composing
+//! injectors adds their transaction counts exactly.
+
+use blockpart_types::{Address, Gas, Timestamp, Wei};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::gen::workload::Population;
+use crate::program::ContractTemplate;
+use crate::state::World;
+use crate::transaction::{Transaction, TxPayload};
+
+/// Gas budget for injected transactions (matches the organic workload).
+const INJECT_GAS: u64 = 400_000;
+
+/// Balance handed to accounts an injector mints for itself.
+const INJECT_ENDOWMENT: u64 = 1_000_000;
+
+/// The half-open time window `[start, end)` an injector is active in.
+///
+/// # Examples
+///
+/// ```
+/// use blockpart_ethereum::gen::Span;
+/// use blockpart_types::Timestamp;
+///
+/// let span = Span::new(Timestamp::from_secs(10), Timestamp::from_secs(20));
+/// assert!(span.contains(Timestamp::from_secs(10)));
+/// assert!(!span.contains(Timestamp::from_secs(20)));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// First instant the injector fires (inclusive).
+    pub start: Timestamp,
+    /// First instant past the active window (exclusive).
+    pub end: Timestamp,
+}
+
+impl Span {
+    /// Builds a span; `end <= start` yields an empty (never-active) span.
+    pub fn new(start: Timestamp, end: Timestamp) -> Self {
+        Span { start, end }
+    }
+
+    /// Whether `t` falls inside the span.
+    pub fn contains(self, t: Timestamp) -> bool {
+        t >= self.start && t < self.end
+    }
+
+    /// Span length in seconds (0 for empty spans).
+    pub fn secs(self) -> u64 {
+        self.end.as_secs().saturating_sub(self.start.as_secs())
+    }
+}
+
+/// Fractional-rate accumulator: turns a real-valued per-block expectation
+/// into integer counts whose sum tracks the expectation exactly (the same
+/// floor-plus-carry scheme the organic generator uses).
+#[derive(Clone, Debug, Default)]
+pub struct Pacer {
+    carry: f64,
+}
+
+impl Pacer {
+    /// Creates a pacer with zero carry.
+    pub fn new() -> Self {
+        Pacer::default()
+    }
+
+    /// Consumes an expectation of `expected` events and returns the
+    /// integer count to emit now, carrying the fraction forward.
+    pub fn count(&mut self, expected: f64) -> usize {
+        let total = expected.max(0.0) + self.carry;
+        let n = total.floor();
+        self.carry = total - n;
+        n as usize
+    }
+}
+
+/// Derives an injector-private RNG seed from the chain seed and a stable
+/// tag, so every injector draws from an independent stream (FNV-1a over
+/// the tag, mixed with the base seed).
+pub fn derive_seed(base: u64, tag: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in tag.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ base.rotate_left(17)
+}
+
+/// Per-block context handed to [`TrafficInjector::inject`].
+pub struct InjectCtx<'a> {
+    /// Mutable world: injectors mint their own accounts and contracts
+    /// here (never through the shared population).
+    pub world: &'a mut World,
+    /// Read-only organic population, for sampling victim/counterparty
+    /// accounts with the injector's own RNG.
+    pub population: &'a Population,
+    /// The block timestamp.
+    pub now: Timestamp,
+    /// How many organic transactions this block carries; injector volume
+    /// scales off this so `intensity` reads as a fraction of organic load.
+    pub organic: usize,
+}
+
+/// A deterministic source of extra transactions appended to each block.
+///
+/// Implementations must honor the module-level determinism contract:
+/// output depends only on `(now, organic)` and own state, so the same
+/// seed always produces the same traffic and composition is additive.
+pub trait TrafficInjector: Send + std::fmt::Debug {
+    /// Returns the transactions to append to the block at `ctx.now`.
+    fn inject(&mut self, ctx: &mut InjectCtx<'_>) -> Vec<Transaction>;
+}
+
+/// An ICO hub: one beneficiary, one token, one crowdsale wired together.
+#[derive(Clone, Copy, Debug)]
+struct Hub {
+    sale: Address,
+}
+
+/// Deploys a wired crowdsale hub (owner + token + sale with slots 0/1
+/// pointing at them) and returns it.
+fn deploy_hub(world: &mut World) -> Hub {
+    let owner = world.new_user(Wei::new(INJECT_ENDOWMENT));
+    let token = world.create_contract(ContractTemplate::Token, owner, owner.index());
+    let sale = world.create_contract(ContractTemplate::Crowdsale, owner, 0);
+    world.storage_store(sale, 0, owner.index());
+    world.storage_store(sale, 1, token.index());
+    Hub { sale }
+}
+
+/// Samples an organic user, or mints a fresh endowed one when the
+/// population is still empty or the fresh-account roll hits.
+fn sample_or_mint(rng: &mut SmallRng, ctx: &mut InjectCtx<'_>, p_fresh: f64) -> Address {
+    if !rng.gen_bool(p_fresh.clamp(0.0, 0.999_999)) {
+        if let Some(u) = ctx.population.sample_user(rng) {
+            return u;
+        }
+    }
+    ctx.world.new_user(Wei::new(INJECT_ENDOWMENT))
+}
+
+/// 2017-style ICO/token-mint burst: a handful of crowdsale hubs absorb a
+/// large share of all traffic. Each contribution fans out through the
+/// crowdsale program (contributor → sale → beneficiary → token), so the
+/// hubs become high-degree vertices no static cut can isolate.
+#[derive(Debug)]
+pub struct HubBurstInjector {
+    span: Span,
+    contracts: usize,
+    intensity: f64,
+    rng: SmallRng,
+    pacer: Pacer,
+    hubs: Vec<Hub>,
+}
+
+impl HubBurstInjector {
+    /// Creates the injector: `contracts` hubs, emitting
+    /// `intensity × organic` extra transactions per block inside `span`.
+    pub fn new(seed: u64, span: Span, contracts: usize, intensity: f64) -> Self {
+        HubBurstInjector {
+            span,
+            contracts: contracts.max(1),
+            intensity: intensity.max(0.0),
+            rng: SmallRng::seed_from_u64(derive_seed(seed, "hub-burst")),
+            pacer: Pacer::new(),
+            hubs: Vec::new(),
+        }
+    }
+
+    /// Picks a hub with geometric bias toward the first (hottest) hub.
+    fn pick_hub(&mut self) -> Hub {
+        let mut i = 0;
+        while i + 1 < self.hubs.len() && self.rng.gen_bool(0.35) {
+            i += 1;
+        }
+        self.hubs[i]
+    }
+}
+
+impl TrafficInjector for HubBurstInjector {
+    fn inject(&mut self, ctx: &mut InjectCtx<'_>) -> Vec<Transaction> {
+        if !self.span.contains(ctx.now) {
+            return Vec::new();
+        }
+        if self.hubs.is_empty() {
+            for _ in 0..self.contracts {
+                self.hubs.push(deploy_hub(ctx.world));
+            }
+        }
+        let n = self.pacer.count(ctx.organic as f64 * self.intensity);
+        let mut txs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let from = sample_or_mint(&mut self.rng, ctx, 0.25);
+            let hub = self.pick_hub();
+            txs.push(Transaction {
+                from,
+                to: hub.sale,
+                value: Wei::new(self.rng.gen_range(100..50_000)),
+                gas_limit: Gas::new(INJECT_GAS),
+                payload: TxPayload::Call { arg: 0 },
+            });
+        }
+        txs
+    }
+}
+
+/// 2016-style dummy-account spam: every transaction comes from a fresh,
+/// never-reused account, half of them also minting a fresh recipient —
+/// the vertex-count inflation that breaks METIS's balance constraint.
+#[derive(Debug)]
+pub struct DummySpamInjector {
+    span: Span,
+    intensity: f64,
+    rng: SmallRng,
+    pacer: Pacer,
+}
+
+impl DummySpamInjector {
+    /// Creates the injector, emitting `intensity × organic` spam
+    /// transactions per block inside `span`.
+    pub fn new(seed: u64, span: Span, intensity: f64) -> Self {
+        DummySpamInjector {
+            span,
+            intensity: intensity.max(0.0),
+            rng: SmallRng::seed_from_u64(derive_seed(seed, "dummy-spam")),
+            pacer: Pacer::new(),
+        }
+    }
+}
+
+impl TrafficInjector for DummySpamInjector {
+    fn inject(&mut self, ctx: &mut InjectCtx<'_>) -> Vec<Transaction> {
+        if !self.span.contains(ctx.now) {
+            return Vec::new();
+        }
+        let n = self.pacer.count(ctx.organic as f64 * self.intensity);
+        let mut txs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let from = ctx.world.new_user(Wei::new(1_000));
+            let to = if self.rng.gen_bool(0.5) {
+                ctx.world.new_user(Wei::ZERO)
+            } else {
+                // attach noise edges to the organic graph, like the
+                // EXTCODESIZE spam did
+                sample_or_mint(&mut self.rng, ctx, 0.0)
+            };
+            txs.push(Transaction {
+                from,
+                to,
+                value: Wei::new(1),
+                gas_limit: Gas::new(INJECT_GAS),
+                payload: TxPayload::Transfer,
+            });
+        }
+        txs
+    }
+}
+
+/// DEX/arbitrage bundle traffic: a small fleet of searcher bots emits
+/// bundles of consecutive same-sender transactions that each touch
+/// several pool contracts, stitching the pools together through the bots
+/// (the mempool idiom of MEV searchers).
+#[derive(Debug)]
+pub struct DexArbInjector {
+    span: Span,
+    pools: usize,
+    bundle: usize,
+    intensity: f64,
+    rng: SmallRng,
+    pacer: Pacer,
+    bots: Vec<Address>,
+    pool_addrs: Vec<Address>,
+}
+
+impl DexArbInjector {
+    /// Bot fleet size (fixed; the interesting knob is `pools`).
+    const BOTS: usize = 8;
+
+    /// Creates the injector: `pools` pool contracts, bundles of `bundle`
+    /// transactions, total volume `intensity × organic` per block.
+    pub fn new(seed: u64, span: Span, pools: usize, bundle: usize, intensity: f64) -> Self {
+        DexArbInjector {
+            span,
+            pools: pools.max(2),
+            bundle: bundle.max(2),
+            intensity: intensity.max(0.0),
+            rng: SmallRng::seed_from_u64(derive_seed(seed, "dex-arb")),
+            pacer: Pacer::new(),
+            bots: Vec::new(),
+            pool_addrs: Vec::new(),
+        }
+    }
+}
+
+impl TrafficInjector for DexArbInjector {
+    fn inject(&mut self, ctx: &mut InjectCtx<'_>) -> Vec<Transaction> {
+        if !self.span.contains(ctx.now) {
+            return Vec::new();
+        }
+        if self.bots.is_empty() {
+            for _ in 0..Self::BOTS {
+                self.bots
+                    .push(ctx.world.new_user(Wei::new(INJECT_ENDOWMENT)));
+            }
+            for i in 0..self.pools {
+                let deployer = self.bots[i % self.bots.len()];
+                let pool =
+                    ctx.world
+                        .create_contract(ContractTemplate::Token, deployer, deployer.index());
+                self.pool_addrs.push(pool);
+            }
+        }
+        let bundles = self
+            .pacer
+            .count(ctx.organic as f64 * self.intensity / self.bundle as f64);
+        let mut txs = Vec::with_capacity(bundles * self.bundle);
+        for _ in 0..bundles {
+            let bot = self.bots[self.rng.gen_range(0..self.bots.len())];
+            let start = self.rng.gen_range(0..self.pool_addrs.len());
+            let stride = 1 + self.rng.gen_range(0..self.pool_addrs.len() - 1);
+            for leg in 0..self.bundle {
+                let pool = self.pool_addrs[(start + leg * stride) % self.pool_addrs.len()];
+                txs.push(Transaction {
+                    from: bot,
+                    to: pool,
+                    value: Wei::ZERO,
+                    gas_limit: Gas::new(INJECT_GAS),
+                    payload: TxPayload::Call { arg: bot.index() },
+                });
+            }
+        }
+        txs
+    }
+}
+
+/// Account-abstraction batched user-ops: a few bundler accounts relay
+/// batches of operations through their entry-point wallet contracts to
+/// destinations all over the organic population — the bundlers and
+/// entry points become super-hubs touching everything.
+#[derive(Debug)]
+pub struct AaBatchInjector {
+    span: Span,
+    bundlers: usize,
+    batch: usize,
+    intensity: f64,
+    rng: SmallRng,
+    pacer: Pacer,
+    entry_points: Vec<(Address, Address)>,
+}
+
+impl AaBatchInjector {
+    /// Creates the injector: `bundlers` bundler/entry-point pairs,
+    /// batches of `batch` user-ops, total volume `intensity × organic`.
+    pub fn new(seed: u64, span: Span, bundlers: usize, batch: usize, intensity: f64) -> Self {
+        AaBatchInjector {
+            span,
+            bundlers: bundlers.max(1),
+            batch: batch.max(1),
+            intensity: intensity.max(0.0),
+            rng: SmallRng::seed_from_u64(derive_seed(seed, "aa-batch")),
+            pacer: Pacer::new(),
+            entry_points: Vec::new(),
+        }
+    }
+}
+
+impl TrafficInjector for AaBatchInjector {
+    fn inject(&mut self, ctx: &mut InjectCtx<'_>) -> Vec<Transaction> {
+        if !self.span.contains(ctx.now) {
+            return Vec::new();
+        }
+        if self.entry_points.is_empty() {
+            for _ in 0..self.bundlers {
+                let bundler = ctx.world.new_user(Wei::new(INJECT_ENDOWMENT));
+                let wallet =
+                    ctx.world
+                        .create_contract(ContractTemplate::Wallet, bundler, bundler.index());
+                self.entry_points.push((bundler, wallet));
+            }
+        }
+        let batches = self
+            .pacer
+            .count(ctx.organic as f64 * self.intensity / self.batch as f64);
+        let mut txs = Vec::with_capacity(batches * self.batch);
+        for _ in 0..batches {
+            let (bundler, wallet) =
+                self.entry_points[self.rng.gen_range(0..self.entry_points.len())];
+            for _ in 0..self.batch {
+                let dest = sample_or_mint(&mut self.rng, ctx, 0.10);
+                txs.push(Transaction {
+                    from: bundler,
+                    to: wallet,
+                    value: Wei::new(self.rng.gen_range(100..5_000)),
+                    gas_limit: Gas::new(INJECT_GAS),
+                    payload: TxPayload::Call { arg: dest.index() },
+                });
+            }
+        }
+        txs
+    }
+}
+
+/// NFT mint stampede: short drop windows inside the span during which a
+/// crowd of mostly-fresh accounts hammers one fresh mint contract — an
+/// extreme time-concentrated hub that appears out of nowhere.
+#[derive(Debug)]
+pub struct NftMintInjector {
+    span: Span,
+    drops: usize,
+    intensity: f64,
+    rng: SmallRng,
+    pacer: Pacer,
+    minted: Vec<Option<Address>>,
+}
+
+impl NftMintInjector {
+    /// Creates the injector: `drops` evenly spaced drop windows, each
+    /// emitting `intensity × organic` mint transactions per block while
+    /// open.
+    pub fn new(seed: u64, span: Span, drops: usize, intensity: f64) -> Self {
+        let drops = drops.max(1);
+        NftMintInjector {
+            span,
+            drops,
+            intensity: intensity.max(0.0),
+            rng: SmallRng::seed_from_u64(derive_seed(seed, "nft-mint")),
+            pacer: Pacer::new(),
+            minted: vec![None; drops],
+        }
+    }
+
+    /// Returns the index of the drop whose window contains `t`, if any.
+    /// Each drop occupies the first eighth of its slice of the span.
+    fn active_drop(&self, t: Timestamp) -> Option<usize> {
+        if !self.span.contains(t) {
+            return None;
+        }
+        let slice = self.span.secs() / self.drops as u64;
+        if slice == 0 {
+            return None;
+        }
+        let offset = t.as_secs() - self.span.start.as_secs();
+        let drop = (offset / slice).min(self.drops as u64 - 1) as usize;
+        let into = offset - drop as u64 * slice;
+        // a drop window is short — the first eighth of the slice (but at
+        // least one block wide, which `max(1)` on the comparison ensures
+        // when slices are tiny)
+        if into <= (slice / 8).max(1) {
+            Some(drop)
+        } else {
+            None
+        }
+    }
+}
+
+impl TrafficInjector for NftMintInjector {
+    fn inject(&mut self, ctx: &mut InjectCtx<'_>) -> Vec<Transaction> {
+        let Some(drop) = self.active_drop(ctx.now) else {
+            return Vec::new();
+        };
+        let mint = match self.minted[drop] {
+            Some(addr) => addr,
+            None => {
+                let deployer = ctx.world.new_user(Wei::new(INJECT_ENDOWMENT));
+                let addr =
+                    ctx.world
+                        .create_contract(ContractTemplate::Token, deployer, deployer.index());
+                self.minted[drop] = Some(addr);
+                addr
+            }
+        };
+        let n = self.pacer.count(ctx.organic as f64 * self.intensity);
+        let mut txs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let minter = sample_or_mint(&mut self.rng, ctx, 0.60);
+            txs.push(Transaction {
+                from: minter,
+                to: mint,
+                value: Wei::ZERO,
+                gas_limit: Gas::new(INJECT_GAS),
+                payload: TxPayload::Call {
+                    arg: minter.index(),
+                },
+            });
+        }
+        txs
+    }
+}
+
+/// Phase-shifting hub mix: the span is cut into equal phases, and on
+/// entering each phase a brand-new crowdsale hub is deployed and receives
+/// *all* the burst traffic, abandoning the previous hub — the workload
+/// whose optimal partition keeps moving, designed to stress threshold-
+/// triggered repartitioning.
+#[derive(Debug)]
+pub struct PhaseShiftInjector {
+    span: Span,
+    phases: usize,
+    intensity: f64,
+    rng: SmallRng,
+    pacer: Pacer,
+    current: Option<(usize, Hub)>,
+}
+
+impl PhaseShiftInjector {
+    /// Creates the injector: `phases` hub generations across `span`,
+    /// emitting `intensity × organic` transactions per block.
+    pub fn new(seed: u64, span: Span, phases: usize, intensity: f64) -> Self {
+        PhaseShiftInjector {
+            span,
+            phases: phases.max(1),
+            intensity: intensity.max(0.0),
+            rng: SmallRng::seed_from_u64(derive_seed(seed, "phase-shift")),
+            pacer: Pacer::new(),
+            current: None,
+        }
+    }
+
+    /// The phase index `t` falls in.
+    fn phase_of(&self, t: Timestamp) -> usize {
+        let slice = (self.span.secs() / self.phases as u64).max(1);
+        let offset = t.as_secs() - self.span.start.as_secs();
+        ((offset / slice) as usize).min(self.phases - 1)
+    }
+}
+
+impl TrafficInjector for PhaseShiftInjector {
+    fn inject(&mut self, ctx: &mut InjectCtx<'_>) -> Vec<Transaction> {
+        if !self.span.contains(ctx.now) {
+            return Vec::new();
+        }
+        let phase = self.phase_of(ctx.now);
+        let hub = match self.current {
+            Some((p, hub)) if p == phase => hub,
+            _ => {
+                let hub = deploy_hub(ctx.world);
+                self.current = Some((phase, hub));
+                hub
+            }
+        };
+        let n = self.pacer.count(ctx.organic as f64 * self.intensity);
+        let mut txs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let from = sample_or_mint(&mut self.rng, ctx, 0.25);
+            txs.push(Transaction {
+                from,
+                to: hub.sale,
+                value: Wei::new(self.rng.gen_range(100..50_000)),
+                gas_limit: Gas::new(INJECT_GAS),
+                payload: TxPayload::Call { arg: 0 },
+            });
+        }
+        txs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{ChainGenerator, GeneratorConfig};
+    use blockpart_types::Duration;
+
+    #[test]
+    fn pacer_tracks_expectation() {
+        let mut p = Pacer::new();
+        let total: usize = (0..100).map(|_| p.count(0.3)).sum();
+        // 100 × 0.3 = 30 expected events, up to one lost to fp rounding
+        assert!((29..=30).contains(&total), "total {total}");
+        assert_eq!(Pacer::new().count(-1.0), 0);
+    }
+
+    #[test]
+    fn span_bounds_are_half_open() {
+        let s = Span::new(Timestamp::from_secs(5), Timestamp::from_secs(10));
+        assert!(!s.contains(Timestamp::from_secs(4)));
+        assert!(s.contains(Timestamp::from_secs(5)));
+        assert!(s.contains(Timestamp::from_secs(9)));
+        assert!(!s.contains(Timestamp::from_secs(10)));
+        assert_eq!(s.secs(), 5);
+        assert_eq!(
+            Span::new(Timestamp::from_secs(9), Timestamp::from_secs(3)).secs(),
+            0
+        );
+    }
+
+    #[test]
+    fn derived_seeds_are_stable_and_distinct() {
+        assert_eq!(derive_seed(7, "hub-burst"), derive_seed(7, "hub-burst"));
+        assert_ne!(derive_seed(7, "hub-burst"), derive_seed(7, "dummy-spam"));
+        assert_ne!(derive_seed(7, "hub-burst"), derive_seed(8, "hub-burst"));
+    }
+
+    fn test_span() -> Span {
+        // days 4..14 of the 14-day test timeline
+        Span::new(
+            Timestamp::EPOCH + Duration::days(4),
+            Timestamp::EPOCH + Duration::days(14),
+        )
+    }
+
+    #[test]
+    fn injected_traffic_is_additive_and_deterministic() {
+        let cfg = GeneratorConfig::test_scale(21);
+        let base = ChainGenerator::new(cfg.clone()).generate();
+        let build = || {
+            ChainGenerator::new(cfg.clone())
+                .with_injector(Box::new(HubBurstInjector::new(
+                    cfg.seed,
+                    test_span(),
+                    2,
+                    0.5,
+                )))
+                .generate()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.log.events(), b.log.events());
+        assert_eq!(a.txs, b.txs);
+        assert!(a.chain.tx_count() > base.chain.tx_count());
+    }
+
+    #[test]
+    fn composition_adds_exact_counts() {
+        let cfg = GeneratorConfig::test_scale(33);
+        let base = ChainGenerator::new(cfg.clone()).generate().chain.tx_count();
+        let spam = ChainGenerator::new(cfg.clone())
+            .with_injector(Box::new(DummySpamInjector::new(cfg.seed, test_span(), 0.7)))
+            .generate()
+            .chain
+            .tx_count();
+        let burst = ChainGenerator::new(cfg.clone())
+            .with_injector(Box::new(HubBurstInjector::new(
+                cfg.seed,
+                test_span(),
+                2,
+                0.5,
+            )))
+            .generate()
+            .chain
+            .tx_count();
+        let both = ChainGenerator::new(cfg.clone())
+            .with_injector(Box::new(DummySpamInjector::new(cfg.seed, test_span(), 0.7)))
+            .with_injector(Box::new(HubBurstInjector::new(
+                cfg.seed,
+                test_span(),
+                2,
+                0.5,
+            )))
+            .generate()
+            .chain
+            .tx_count();
+        assert_eq!(both - base, (spam - base) + (burst - base));
+    }
+
+    #[test]
+    fn injectors_respect_their_span() {
+        let cfg = GeneratorConfig::test_scale(5);
+        let span = Span::new(
+            Timestamp::EPOCH + Duration::days(7),
+            Timestamp::EPOCH + Duration::days(14),
+        );
+        let with = ChainGenerator::new(cfg.clone())
+            .with_injector(Box::new(DummySpamInjector::new(cfg.seed, span, 1.0)))
+            .generate();
+        let base = ChainGenerator::new(cfg).generate();
+        // blocks before the span are identical
+        let cut = Timestamp::EPOCH + Duration::days(7);
+        let before_with = with.txs.iter().filter(|t| t.time < cut).count();
+        let before_base = base.txs.iter().filter(|t| t.time < cut).count();
+        assert_eq!(before_with, before_base);
+        assert!(with.txs.len() > base.txs.len());
+    }
+
+    #[test]
+    fn phase_shift_rotates_hub_identity() {
+        let cfg = GeneratorConfig::test_scale(13);
+        let span = test_span();
+        let chain = ChainGenerator::new(cfg.clone())
+            .with_injector(Box::new(PhaseShiftInjector::new(cfg.seed, span, 4, 1.0)))
+            .generate();
+        let base = ChainGenerator::new(cfg).generate();
+        // strictly more contracts: each phase deploys a fresh hub pair
+        assert!(
+            chain.chain.world().contract_count() >= base.chain.world().contract_count() + 8,
+            "with {} base {}",
+            chain.chain.world().contract_count(),
+            base.chain.world().contract_count()
+        );
+    }
+}

@@ -12,8 +12,13 @@
 
 mod era;
 mod generator;
+mod inject;
 mod workload;
 
 pub use era::{Era, EraTimeline, TxMix};
 pub use generator::{ChainGenerator, GeneratorConfig};
+pub use inject::{
+    derive_seed, AaBatchInjector, DexArbInjector, DummySpamInjector, HubBurstInjector, InjectCtx,
+    NftMintInjector, Pacer, PhaseShiftInjector, Span, TrafficInjector,
+};
 pub use workload::Population;

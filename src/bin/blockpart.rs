@@ -10,21 +10,31 @@
 //! blockpart live     --strategy tr-metis --k 4    # online repartitioning
 //! blockpart live     --strategy tr-metis --k 4 --json --trace live.json
 //! blockpart profile  --scale 0.001 --shards 2,4   # stage → time self-profile
+//! blockpart study    --scenario "hub-burst[contracts=3]" --strategy tr-metis
+//! blockpart live     --scenario phase-shift        # hostile workload, live
 //! blockpart list-strategies
+//! blockpart list-scenarios
 //! blockpart help
 //! ```
 //!
 //! Strategy names are resolved through the
 //! [`StrategyRegistry`](blockpart::core::StrategyRegistry): the built-ins
 //! plus anything a spec string parameterizes (`name[key=value;...]`).
+//! Adversarial workloads resolve the same way through the
+//! [`ScenarioRegistry`](blockpart::core::ScenarioRegistry) (`--scenario`),
+//! and `+` composes scenarios: `hub-burst[contracts=2]+dummy-spam`.
 
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::BufWriter;
 use std::process::ExitCode;
 
+use std::sync::Arc;
+
 use blockpart::core::ablation::{offline_partitioner_comparison, offline_table};
-use blockpart::core::{run_profile, Experiment, ExperimentReport, StrategyRegistry};
+use blockpart::core::{
+    run_profile, Experiment, ExperimentReport, ScenarioRegistry, ScenarioSpec, StrategyRegistry,
+};
 use blockpart::ethereum::gen::{ChainGenerator, GeneratorConfig};
 use blockpart::graph::io::write_trace;
 use blockpart::live::{LiveConfig, LiveRunner};
@@ -42,8 +52,11 @@ COMMANDS:
                --scale <f64>   rate fraction        (default 0.0012)
                --seed <u64>    generator seed        (default 42)
                --out <path>    trace file            (default trace.txt)
+               --scenario <s>  overlay an adversarial workload scenario,
+                               `name[key=value;...]`, `+` composes
+                               (default none: the friendly chain)
     study      run partitioning strategies over a synthetic chain
-               --scale, --seed as above
+               --scale, --seed, --scenario as above
                --strategies <s,..>  strategy specs, `all` for the paper's
                                     five; parameterize with
                                     name[key=value;...]   (default all)
@@ -57,7 +70,7 @@ COMMANDS:
                --shards <k>     single shard count     (default 2)
     runtime    execute the chain on each strategy's assignment through the
                sharded 2PC runtime and report coordination costs
-               --scale, --seed as above
+               --scale, --seed, --scenario as above
                --strategies <s,..>  (default hash,metis)
                --shards <k,..>   shard counts           (default 1,2,4)
                --latency-us <n>  one-way net latency    (default 1000)
@@ -70,7 +83,7 @@ COMMANDS:
                repartitioning service: windowed decaying graph, the
                strategy's trigger policy, and real 2PC state migrations,
                starting from hash placement
-               --scale, --seed as above
+               --scale, --seed, --scenario as above
                --strategy <s>    partitioner/trigger strategy spec
                                                       (default tr-metis)
                --k <n>           shard count           (default 4)
@@ -93,9 +106,12 @@ COMMANDS:
                --metrics <path>  flat metrics text dump
     list-strategies
                print the registered strategies and their parameters
+    list-scenarios
+               print the registered adversarial scenarios and their
+               parameters
     help       print this message
 
-`--methods` is accepted as an alias of `--strategies`.
+`--methods` and `--strategy` are accepted as aliases of `--strategies`.
 ";
 
 /// Options that are flags (no value follows them).
@@ -103,27 +119,33 @@ const FLAG_OPTIONS: &[&str] = &["json", "no-obs", "no-replay"];
 
 fn main() -> ExitCode {
     let registry = StrategyRegistry::with_builtins();
+    let scenarios = ScenarioRegistry::with_builtins();
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&registry, &args) {
+    match run(&registry, &scenarios, &args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("{USAGE}");
             eprintln!("STRATEGIES:\n{}", registry.help_table().render_ascii());
+            eprintln!("SCENARIOS:\n{}", scenarios.help_table().render_ascii());
             ExitCode::FAILURE
         }
     }
 }
 
-fn run(registry: &StrategyRegistry, args: &[String]) -> Result<(), String> {
+fn run(
+    registry: &StrategyRegistry,
+    scenarios: &ScenarioRegistry,
+    args: &[String],
+) -> Result<(), String> {
     let Some(command) = args.first() else {
         return Err("missing command".into());
     };
     let opts = parse_options(&args[1..])?;
     match command.as_str() {
         "generate" => {
-            ensure_known_options(&opts, "generate", &["scale", "seed", "out"])?;
-            cmd_generate(&opts)
+            ensure_known_options(&opts, "generate", &["scale", "seed", "out", "scenario"])?;
+            cmd_generate(scenarios, &opts)
         }
         "study" => {
             ensure_known_options(
@@ -132,15 +154,17 @@ fn run(registry: &StrategyRegistry, args: &[String]) -> Result<(), String> {
                 &[
                     "scale",
                     "seed",
+                    "scenario",
                     "strategies",
                     "methods",
+                    "strategy",
                     "shards",
                     "json",
                     "trace",
                     "metrics",
                 ],
             )?;
-            cmd_study(registry, &opts)
+            cmd_study(registry, scenarios, &opts)
         }
         "offline" => {
             ensure_known_options(&opts, "offline", &["scale", "seed", "shards"])?;
@@ -153,8 +177,10 @@ fn run(registry: &StrategyRegistry, args: &[String]) -> Result<(), String> {
                 &[
                     "scale",
                     "seed",
+                    "scenario",
                     "strategies",
                     "methods",
+                    "strategy",
                     "shards",
                     "latency-us",
                     "arrival-us",
@@ -163,7 +189,7 @@ fn run(registry: &StrategyRegistry, args: &[String]) -> Result<(), String> {
                     "metrics",
                 ],
             )?;
-            cmd_runtime(registry, &opts)
+            cmd_runtime(registry, scenarios, &opts)
         }
         "live" => {
             ensure_known_options(
@@ -172,6 +198,7 @@ fn run(registry: &StrategyRegistry, args: &[String]) -> Result<(), String> {
                 &[
                     "scale",
                     "seed",
+                    "scenario",
                     "strategy",
                     "k",
                     "shards",
@@ -182,7 +209,7 @@ fn run(registry: &StrategyRegistry, args: &[String]) -> Result<(), String> {
                     "trace",
                 ],
             )?;
-            cmd_live(registry, &opts)
+            cmd_live(registry, scenarios, &opts)
         }
         "profile" => {
             ensure_known_options(
@@ -207,9 +234,15 @@ fn run(registry: &StrategyRegistry, args: &[String]) -> Result<(), String> {
             println!("{}", registry.help_table().render_ascii());
             Ok(())
         }
+        "list-scenarios" => {
+            ensure_known_options(&opts, "list-scenarios", &[])?;
+            println!("{}", scenarios.help_table().render_ascii());
+            Ok(())
+        }
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             println!("STRATEGIES:\n{}", registry.help_table().render_ascii());
+            println!("SCENARIOS:\n{}", scenarios.help_table().render_ascii());
             Ok(())
         }
         other => Err(format!("unknown command `{other}`")),
@@ -288,19 +321,28 @@ fn json_of(opts: &HashMap<String, String>) -> bool {
     opts.contains_key("json")
 }
 
-/// The strategy spec string: `--strategies`, its `--methods` alias, or
-/// the given default. Passing both flags is an error — silently
-/// preferring one would drop the other's strategies.
+/// The strategy spec string: `--strategies`, its `--methods` and
+/// `--strategy` aliases, or the given default. Passing more than one of
+/// the flags is an error — silently preferring one would drop the
+/// other's strategies.
 fn strategy_spec_of<'a>(
     opts: &'a HashMap<String, String>,
     default: &'a str,
 ) -> Result<&'a str, String> {
-    match (opts.get("strategies"), opts.get("methods")) {
-        (Some(_), Some(_)) => Err(
-            "both --strategies and --methods given; use one (--methods is an alias)".to_string(),
-        ),
-        (Some(s), None) | (None, Some(s)) => Ok(s),
-        (None, None) => Ok(default),
+    let given: Vec<(&str, &'a String)> = ["strategies", "methods", "strategy"]
+        .iter()
+        .filter_map(|&flag| opts.get(flag).map(|v| (flag, v)))
+        .collect();
+    match given.as_slice() {
+        [] => Ok(default),
+        [(_, value)] => Ok(value),
+        many => {
+            let flags: Vec<String> = many.iter().map(|(flag, _)| format!("--{flag}")).collect();
+            Err(format!(
+                "{} given; use one (--methods and --strategy are aliases of --strategies)",
+                flags.join(" and ")
+            ))
+        }
     }
 }
 
@@ -325,12 +367,36 @@ fn shards_of(opts: &HashMap<String, String>, default: &[u16]) -> Result<Vec<Shar
         .collect()
 }
 
-fn generate(opts: &HashMap<String, String>) -> Result<blockpart::ethereum::SyntheticChain, String> {
+/// Resolves `--scenario` (a `name[key=value;...]` spec, `+`-composable)
+/// through the scenario registry; `None` means the friendly chain.
+fn scenario_of(
+    scenarios: &ScenarioRegistry,
+    opts: &HashMap<String, String>,
+) -> Result<Option<Arc<dyn ScenarioSpec>>, String> {
+    match opts.get("scenario") {
+        None => Ok(None),
+        Some(spec) => scenarios.compose(spec).map(Some).map_err(|e| e.to_string()),
+    }
+}
+
+fn generate(
+    opts: &HashMap<String, String>,
+    scenario: Option<&Arc<dyn ScenarioSpec>>,
+) -> Result<blockpart::ethereum::SyntheticChain, String> {
     let scale = scale_of(opts)?;
     let seed = seed_of(opts)?;
-    eprintln!("generating 30-month history (scale {scale}, seed {seed})...");
+    match scenario {
+        Some(s) => eprintln!(
+            "generating 30-month history (scale {scale}, seed {seed}, scenario {})...",
+            s.name()
+        ),
+        None => eprintln!("generating 30-month history (scale {scale}, seed {seed})..."),
+    }
     let config = GeneratorConfig::demo_scale(seed).with_scale(scale);
-    let chain = ChainGenerator::new(config).generate();
+    let chain = match scenario {
+        Some(s) => s.build(&config),
+        None => ChainGenerator::new(config).generate(),
+    };
     eprintln!(
         "  {} transactions, {} interactions, {} contracts",
         chain.chain.tx_count(),
@@ -340,8 +406,12 @@ fn generate(opts: &HashMap<String, String>) -> Result<blockpart::ethereum::Synth
     Ok(chain)
 }
 
-fn cmd_generate(opts: &HashMap<String, String>) -> Result<(), String> {
-    let chain = generate(opts)?;
+fn cmd_generate(
+    scenarios: &ScenarioRegistry,
+    opts: &HashMap<String, String>,
+) -> Result<(), String> {
+    let scenario = scenario_of(scenarios, opts)?;
+    let chain = generate(opts, scenario.as_ref())?;
     let default_out = "trace.txt".to_string();
     let out = opts.get("out").unwrap_or(&default_out);
     let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
@@ -404,13 +474,18 @@ fn print_report(report: &ExperimentReport, json: bool, runtime: bool) {
     }
 }
 
-fn cmd_study(registry: &StrategyRegistry, opts: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_study(
+    registry: &StrategyRegistry,
+    scenarios: &ScenarioRegistry,
+    opts: &HashMap<String, String>,
+) -> Result<(), String> {
     // validate all options before the (expensive) generation
     let spec = strategy_spec_of(opts, "all")?;
     registry.resolve_list(spec).map_err(|e| e.to_string())?;
+    let scenario = scenario_of(scenarios, opts)?;
     let shards = shards_of(opts, &[2, 4, 8])?;
     let seed = seed_of(opts)?;
-    let chain = generate(opts)?;
+    let chain = generate(opts, scenario.as_ref())?;
     let report = Experiment::over_log(&chain.log)
         .named_strategies(registry, spec)
         .map_err(|e| e.to_string())?
@@ -428,7 +503,7 @@ fn cmd_study(registry: &StrategyRegistry, opts: &HashMap<String, String>) -> Res
 fn cmd_offline(opts: &HashMap<String, String>) -> Result<(), String> {
     let shards = shards_of(opts, &[2])?;
     let k = *shards.first().ok_or("need one shard count")?;
-    let chain = generate(opts)?;
+    let chain = generate(opts, None)?;
     let rows = offline_partitioner_comparison(&chain.log, k);
     println!("{}", offline_table(&rows).render_ascii());
     Ok(())
@@ -441,15 +516,20 @@ fn micros_of(opts: &HashMap<String, String>, key: &str, default: u64) -> Result<
     }
 }
 
-fn cmd_runtime(registry: &StrategyRegistry, opts: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_runtime(
+    registry: &StrategyRegistry,
+    scenarios: &ScenarioRegistry,
+    opts: &HashMap<String, String>,
+) -> Result<(), String> {
     // validate all options before the (expensive) generation
     let spec = strategy_spec_of(opts, "hash,metis")?;
     registry.resolve_list(spec).map_err(|e| e.to_string())?;
+    let scenario = scenario_of(scenarios, opts)?;
     let shards = shards_of(opts, &[1, 2, 4])?;
     let seed = seed_of(opts)?;
     let latency_us = micros_of(opts, "latency-us", 1_000)?;
     let arrival_us = micros_of(opts, "arrival-us", 500)?;
-    let chain = generate(opts)?;
+    let chain = generate(opts, scenario.as_ref())?;
     let report = Experiment::over_chain(&chain)
         .named_strategies(registry, spec)
         .map_err(|e| e.to_string())?
@@ -488,10 +568,15 @@ fn cmd_runtime(registry: &StrategyRegistry, opts: &HashMap<String, String>) -> R
     Ok(())
 }
 
-fn cmd_live(registry: &StrategyRegistry, opts: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_live(
+    registry: &StrategyRegistry,
+    scenarios: &ScenarioRegistry,
+    opts: &HashMap<String, String>,
+) -> Result<(), String> {
     // validate all options before the (expensive) generation
     let spec_str = opts.get("strategy").map_or("tr-metis", String::as_str);
     let spec = registry.resolve(spec_str).map_err(|e| e.to_string())?;
+    let scenario = scenario_of(scenarios, opts)?;
     let k = match (opts.get("k"), opts.get("shards")) {
         (Some(_), Some(_)) => return Err("both --k and --shards given; use one".into()),
         (None, None) => ShardCount::new(4).expect("non-zero"),
@@ -510,7 +595,7 @@ fn cmd_live(registry: &StrategyRegistry, opts: &HashMap<String, String>) -> Resu
     let seed = seed_of(opts)?;
     let latency_us = micros_of(opts, "latency-us", 1_000)?;
     let arrival_us = micros_of(opts, "arrival-us", 500)?;
-    let chain = generate(opts)?;
+    let chain = generate(opts, scenario.as_ref())?;
 
     // the strategy's own trigger/scope settings drive the live loop
     let sim_cfg = spec.simulator_config(k);
@@ -693,15 +778,42 @@ mod tests {
     #[test]
     fn unknown_command_errors() {
         let registry = StrategyRegistry::with_builtins();
-        let err = run(&registry, &["frobnicate".to_string()]).unwrap_err();
+        let scenarios = ScenarioRegistry::with_builtins();
+        let err = run(&registry, &scenarios, &["frobnicate".to_string()]).unwrap_err();
         assert!(err.contains("frobnicate"), "{err}");
-        assert!(run(&registry, &[]).is_err());
+        assert!(run(&registry, &scenarios, &[]).is_err());
         // unknown option on a valid command names the token
         let args: Vec<String> = ["study", "--frob", "1"]
             .iter()
             .map(|s| s.to_string())
             .collect();
-        let err = run(&registry, &args).unwrap_err();
+        let err = run(&registry, &scenarios, &args).unwrap_err();
         assert!(err.contains("--frob"), "{err}");
+    }
+
+    #[test]
+    fn scenario_specs_resolve_before_generation() {
+        let scenarios = ScenarioRegistry::with_builtins();
+        assert!(scenario_of(&scenarios, &opts(&[])).unwrap().is_none());
+        let o = opts(&[("scenario", "hub-burst[contracts=3]")]);
+        let s = scenario_of(&scenarios, &o).unwrap().unwrap();
+        assert_eq!(s.name(), "hub-burst[contracts=3]");
+        let composed = opts(&[("scenario", "hub-burst+dummy-spam")]);
+        assert!(scenario_of(&scenarios, &composed).unwrap().is_some());
+        let bogus = opts(&[("scenario", "bogus")]);
+        match scenario_of(&scenarios, &bogus) {
+            Ok(_) => panic!("bogus scenario resolved"),
+            Err(err) => assert!(err.contains("bogus"), "{err}"),
+        }
+    }
+
+    #[test]
+    fn strategy_alias_flag_resolves_like_strategies() {
+        let o = opts(&[("strategy", "tr-metis")]);
+        assert_eq!(strategy_spec_of(&o, "all").unwrap(), "tr-metis");
+        let conflict = opts(&[("strategies", "hash"), ("strategy", "metis")]);
+        let err = strategy_spec_of(&conflict, "all").unwrap_err();
+        assert!(err.contains("--strategy"), "{err}");
+        assert!(err.contains("--strategies"), "{err}");
     }
 }
