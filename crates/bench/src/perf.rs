@@ -32,16 +32,27 @@
 //! and `scenario-live-during-p99-vclock` rows that gate the migration
 //! path's behavior under adversarial traffic, calibration-exempt like
 //! every virtual-clock row.
+//!
+//! The `oocsr-build` and `oocsr-stream-partition` stages time the
+//! out-of-core data path (`blockpart-storage` + `graph::ooc`): the
+//! external-memory CSR build under [`OOCSR_MEM_BUDGET`] — a budget
+//! deliberately far below the resident edge accumulation, the
+//! scaled-down analogue of running paper scale under a 512 MiB cap —
+//! and the LDG/Fennel streaming partitioners consuming the merged row
+//! stream straight from disk. Every stage row additionally records
+//! [`peak_rss_bytes`], the process's resident high-water mark when the
+//! row was pushed, so out-of-core wins are recorded data rather than
+//! anecdote.
 
 use std::time::Instant;
 
 use blockpart_core::{ScenarioRegistry, StrategyRegistry};
 use blockpart_ethereum::gen::{ChainGenerator, GeneratorConfig};
 use blockpart_ethereum::SyntheticChain;
-use blockpart_graph::InteractionLog;
+use blockpart_graph::{InteractionLog, OocCsr};
 use blockpart_live::{LiveConfig, LiveRunner};
 use blockpart_metrics::Json;
-use blockpart_partition::{kway, MultilevelConfig, PartitionRequest};
+use blockpart_partition::{kway, Fennel, LinearGreedy, MultilevelConfig, PartitionRequest};
 use blockpart_runtime::{Assignment, ShardedRuntime};
 use blockpart_shard::ShardSimulator;
 use blockpart_types::{resolve_workers, Duration, ShardCount};
@@ -54,6 +65,43 @@ pub const STRATEGIES: [&str; 3] = ["hash", "metis", "r-metis"];
 
 /// The adversarial scenarios scored by the `scenario-*` stages.
 pub const SCENARIOS: [&str; 2] = ["hub-burst", "dummy-spam"];
+
+/// Edge-accumulation budget for the `oocsr-*` stages, in bytes. Far
+/// below the resident edge set at every configured scale — the
+/// accumulator overflows into multiple sorted on-disk runs even at the
+/// CI workload, so the rows time the genuine external sort/merge path
+/// (the scaled-down analogue of paper scale against a 512 MiB budget).
+pub const OOCSR_MEM_BUDGET: u64 = 256 * 1024;
+
+/// The process's peak resident set size in bytes — `VmHWM` from
+/// `/proc/self/status` — or `0` on platforms without procfs. The kernel
+/// reports a process-lifetime high-water mark, so a stage row records
+/// the peak *up to the moment it was pushed*; the `ooc-smoke` CI job,
+/// which runs the spilled pipeline in a fresh memory-capped process, is
+/// where the out-of-core ceiling becomes a gated number.
+pub fn peak_rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+            return 0;
+        };
+        status
+            .lines()
+            .find_map(|line| line.strip_prefix("VmHWM:"))
+            .and_then(|rest| {
+                rest.trim()
+                    .trim_end_matches("kB")
+                    .trim()
+                    .parse::<u64>()
+                    .ok()
+            })
+            .map_or(0, |kb| kb * 1024)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
+}
 
 /// Harness configuration: workload scale and timing discipline.
 #[derive(Clone, Debug, PartialEq)]
@@ -118,6 +166,10 @@ pub struct StageResult {
     /// vertices, depending on the stage), when the stage has a natural
     /// throughput unit.
     pub txs_per_sec: Option<f64>,
+    /// Process peak RSS in bytes when the row was recorded
+    /// ([`peak_rss_bytes`]; `0` where unavailable). Additive within
+    /// schema 1: documents written before the field parse as `0`.
+    pub peak_rss_bytes: u64,
 }
 
 impl StageResult {
@@ -191,6 +243,7 @@ impl PerfReport {
                         ("k", s.k.map_or(Json::Null, Json::from)),
                         ("median_ms", Json::from(s.median_ms)),
                         ("txs_per_sec", s.txs_per_sec.map_or(Json::Null, Json::from)),
+                        ("peak_rss_bytes", Json::from(s.peak_rss_bytes)),
                     ])
                 })),
             ),
@@ -252,6 +305,7 @@ impl PerfReport {
                         .and_then(Json::as_f64)
                         .ok_or("stage row missing median_ms")?,
                     txs_per_sec: s.get("txs_per_sec").and_then(Json::as_f64),
+                    peak_rss_bytes: s.get("peak_rss_bytes").and_then(Json::as_u64).unwrap_or(0),
                 })
             })
             .collect::<Result<Vec<StageResult>, String>>()?;
@@ -425,6 +479,7 @@ pub fn compare_calibrated(
                     s.median_ms * factor
                 },
                 txs_per_sec: s.txs_per_sec,
+                peak_rss_bytes: s.peak_rss_bytes,
                 stage: s.stage.clone(),
                 strategy: s.strategy.clone(),
                 k: s.k,
@@ -484,6 +539,7 @@ pub fn run(config: &PerfConfig) -> PerfReport {
                 k,
                 median_ms: ms,
                 txs_per_sec: tps,
+                peak_rss_bytes: peak_rss_bytes(),
             });
         };
 
@@ -524,6 +580,54 @@ pub fn run(config: &PerfConfig) -> PerfReport {
         graph.to_csr_workers(workers)
     });
     push("csr", None, None, ms, throughput(graph.edge_count(), ms));
+
+    // ---- out-of-core CSR build + streaming partitioning ----------------
+    // The spill path: symmetrize into budgeted sorted runs on disk, then
+    // stream the k-way merge into the LDG/Fennel partitioners without
+    // materializing the CSR arrays. OOCSR_MEM_BUDGET keeps the
+    // accumulator overflowing at every configured scale, so these rows
+    // time genuine external-memory work.
+    let spill_root = std::env::temp_dir();
+    let (ms, _) = time_stage(config.warmup, config.trials, || {
+        let ooc = OocCsr::build(&graph, &spill_root, OOCSR_MEM_BUDGET).expect("out-of-core build");
+        ooc.finish().expect("remove spill session");
+    });
+    push(
+        "oocsr-build",
+        None,
+        None,
+        ms,
+        throughput(graph.edge_count(), ms),
+    );
+    let ooc = OocCsr::build(&graph, &spill_root, OOCSR_MEM_BUDGET).expect("out-of-core build");
+    for &k in &config.shard_counts {
+        let shard_count = ShardCount::new(k).expect("non-zero shard count");
+        let (ms, _) = time_stage(config.warmup, config.trials, || {
+            LinearGreedy::default()
+                .partition_ooc(&ooc, shard_count)
+                .expect("stream rows from spill")
+        });
+        push(
+            "oocsr-stream-partition",
+            Some("ldg"),
+            Some(k),
+            ms,
+            throughput(ooc.node_count(), ms),
+        );
+        let (ms, _) = time_stage(config.warmup, config.trials, || {
+            Fennel::default()
+                .partition_ooc(&ooc, shard_count)
+                .expect("stream rows from spill")
+        });
+        push(
+            "oocsr-stream-partition",
+            Some("fennel"),
+            Some(k),
+            ms,
+            throughput(ooc.node_count(), ms),
+        );
+    }
+    ooc.finish().expect("remove spill session");
 
     // ---- multilevel coarsen+partition kernel: serial vs parallel -------
     for &k in &config.shard_counts {
@@ -782,6 +886,7 @@ mod tests {
             k,
             median_ms: ms,
             txs_per_sec: Some(100.0),
+            peak_rss_bytes: 0,
         }
     }
 
@@ -810,9 +915,34 @@ mod tests {
             "\"k\":null",
             "\"median_ms\":1.0",
             "\"txs_per_sec\":100.0",
+            "\"peak_rss_bytes\":0",
         ] {
             assert!(json.contains(field), "missing {field} in {json}");
         }
+    }
+
+    #[test]
+    fn peak_rss_is_reported_on_linux() {
+        let rss = peak_rss_bytes();
+        if cfg!(target_os = "linux") {
+            assert!(rss > 0, "VmHWM should be readable on linux");
+        } else {
+            assert_eq!(rss, 0);
+        }
+    }
+
+    #[test]
+    fn documents_without_peak_rss_parse_as_zero() {
+        // peak_rss_bytes is additive within schema 1: a baseline written
+        // before the field must still parse, with the field defaulting
+        let mut report = report_with(vec![stage("csr", None, None, 1.0)]);
+        report.stages[0].peak_rss_bytes = 4096;
+        let stripped = report
+            .to_json()
+            .render()
+            .replace(",\"peak_rss_bytes\":4096", "");
+        let parsed = PerfReport::from_json(&Json::parse(&stripped).unwrap()).unwrap();
+        assert_eq!(parsed.stages[0].peak_rss_bytes, 0);
     }
 
     #[test]

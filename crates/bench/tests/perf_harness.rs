@@ -49,6 +49,22 @@ fn harness_emits_the_documented_matrix() {
         }
     }
 
+    // the out-of-core rows: external-memory CSR build plus LDG/Fennel
+    // streaming partition straight from the spilled merge, with the peak
+    // RSS high-water mark recorded on every row (linux)
+    assert!(report.find("oocsr-build", None, None).is_some());
+    for &k in &report.config.shard_counts {
+        for strategy in ["ldg", "fennel"] {
+            let row = report
+                .find("oocsr-stream-partition", Some(strategy), Some(k))
+                .unwrap_or_else(|| panic!("missing oocsr-stream-partition/{strategy}/{k}"));
+            assert!(row.txs_per_sec.unwrap_or(0.0) > 0.0);
+        }
+    }
+    if cfg!(target_os = "linux") {
+        assert!(report.stages.iter().all(|s| s.peak_rss_bytes > 0));
+    }
+
     // document round-trip, and a fresh run regresses against itself never
     let rendered = report.to_json().render_pretty();
     let parsed = PerfReport::from_json(&Json::parse(&rendered).unwrap()).unwrap();

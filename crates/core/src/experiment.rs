@@ -51,7 +51,8 @@ use blockpart_metrics::{Json, Table};
 use blockpart_obs::{perfetto, Collector, Record, Trace};
 use blockpart_runtime::{Assignment, RuntimeReport, ShardedRuntime};
 use blockpart_shard::{ShardSimulator, SimulationResult};
-use blockpart_types::{Duration, ShardCount};
+use blockpart_storage::{SegmentStore, DEFAULT_SEGMENT_EVENTS};
+use blockpart_types::{Duration, ShardCount, SpillSession, StorageBackend};
 
 use crate::scenario::{ScenarioRegistry, ScenarioSpec};
 use crate::strategy::{spec_lookup_key, StrategyError, StrategyRegistry, StrategySpec};
@@ -80,6 +81,16 @@ enum WorkloadSource<'a> {
     Chain(&'a SyntheticChain),
     /// A generator configuration, synthesized when the experiment runs.
     Generator(GeneratorConfig),
+}
+
+/// The event source handed to each strategy × k pair: the resident log,
+/// or a disk-backed segment store each pair streams independently.
+enum EventFeed<'b> {
+    /// Everything resident — the classic path.
+    Resident(&'b InteractionLog),
+    /// A sealed on-disk segment store; each pair opens its own
+    /// sequential readers, so the full log is never materialized.
+    Store(&'b SegmentStore),
 }
 
 /// One completed pipeline run: a strategy at a shard count.
@@ -437,6 +448,14 @@ pub struct Experiment<'a> {
     trace: bool,
     net_latency_us: Option<u64>,
     inter_arrival_us: Option<u64>,
+    /// Where the pipeline's heavy data lives. With
+    /// [`StorageBackend::Spill`], a generator workload without replay or
+    /// live stages is synthesized straight into an on-disk segment store
+    /// (the full interaction log is never resident) and the offline
+    /// simulation streams it back; replay and live stages route 2PC
+    /// state shipping through an on-disk spool. Results are
+    /// byte-identical to the in-memory backend.
+    storage: StorageBackend,
 }
 
 impl std::fmt::Debug for Experiment<'_> {
@@ -476,6 +495,7 @@ impl<'a> Experiment<'a> {
             trace: false,
             net_latency_us: None,
             inter_arrival_us: None,
+            storage: StorageBackend::InMemory,
         }
     }
 
@@ -629,6 +649,15 @@ impl<'a> Experiment<'a> {
         self
     }
 
+    /// Selects the storage backend (see [`Experiment::storage`]'s field
+    /// docs; [`StorageBackend::InMemory`] by default). The CLI threads
+    /// `--spill-dir` / `--mem-budget` (or `BLOCKPART_MEM_BUDGET` /
+    /// `BLOCKPART_SPILL_DIR`) into this.
+    pub fn storage(mut self, backend: StorageBackend) -> Self {
+        self.storage = backend;
+        self
+    }
+
     /// Runs every strategy × shard-count pair and collects the report.
     ///
     /// # Panics
@@ -655,10 +684,44 @@ impl<'a> Experiment<'a> {
             "a scenario requires a generator workload (use Experiment::from_generator)"
         );
         let generated;
+        let streamed;
+        let mut session: Option<SpillSession> = None;
         let gen_start = root.now_us();
-        let (log, chain): (&InteractionLog, Option<&SyntheticChain>) = match &self.workload {
-            WorkloadSource::Log(log) => (log, None),
-            WorkloadSource::Chain(chain) => (&chain.log, Some(chain)),
+        // A generator workload whose only consumer is the offline stage
+        // can be synthesized straight to disk: the interaction log is
+        // never resident. Replay/live need the chain's world and
+        // transaction stream, so they keep the resident path (and route
+        // state shipping through a spool instead).
+        let stream_gen = self.storage.is_spill()
+            && self.scenario.is_none()
+            && !self.replay
+            && !self.live
+            && matches!(self.workload, WorkloadSource::Generator(_));
+        let (feed, chain): (EventFeed<'_>, Option<&SyntheticChain>) = match &self.workload {
+            WorkloadSource::Log(log) => (EventFeed::Resident(log), None),
+            WorkloadSource::Chain(chain) => (EventFeed::Resident(&chain.log), Some(chain)),
+            WorkloadSource::Generator(config) if stream_gen => {
+                let spill_root = self.storage.spill_dir().expect("spill backend has a root");
+                let s = SpillSession::create(spill_root).expect("create spill session");
+                let mut writer =
+                    SegmentStore::writer(s.path().join("events"), DEFAULT_SEGMENT_EVENTS)
+                        .expect("open segment writer");
+                ChainGenerator::new(config.clone())
+                    .generate_into(&mut writer)
+                    .expect("stream chain into segment store");
+                let store = writer.finish().expect("seal segment store");
+                if root.enabled() {
+                    let dur = root.now_us() - gen_start;
+                    root.record(
+                        Record::span(gen_start, dur, "stage", "chain-gen")
+                            .with_arg("interactions", store.event_count())
+                            .with_arg("segments", store.segment_count()),
+                    );
+                }
+                session = Some(s);
+                streamed = store;
+                (EventFeed::Store(&streamed), None)
+            }
             WorkloadSource::Generator(config) => {
                 generated = match &self.scenario {
                     Some(scenario) => scenario.build(config),
@@ -674,9 +737,14 @@ impl<'a> Experiment<'a> {
                     }
                     root.record(record);
                 }
-                (&generated.log, Some(&generated))
+                (EventFeed::Resident(&generated.log), Some(&generated))
             }
         };
+        if session.is_none() && self.storage.is_spill() && (self.replay || self.live) {
+            let spill_root = self.storage.spill_dir().expect("spill backend has a root");
+            session = Some(SpillSession::create(spill_root).expect("create spill session"));
+        }
+        let spool_root = session.as_ref().map(|s| s.path().to_path_buf());
         assert!(
             !self.replay || chain.is_some(),
             "runtime replay requires a chain workload (use Experiment::over_chain or \
@@ -726,6 +794,7 @@ impl<'a> Experiment<'a> {
         let stealers: Vec<Stealer<usize>> = queues.iter().map(|q| q.stealer()).collect();
         let (tx, rx) = mpsc::channel::<(usize, ExperimentRun, Option<Trace>)>();
         let this = &self;
+        let (feed, spool_root) = (&feed, spool_root.as_deref());
         crossbeam::thread::scope(|scope| {
             for (me, local) in queues.iter().enumerate() {
                 let tx = tx.clone();
@@ -733,8 +802,15 @@ impl<'a> Experiment<'a> {
                 scope.spawn(move |_| {
                     while let Some(i) = next_task(local, stealers, me) {
                         let (spec, requested, k) = pairs[i];
-                        let (mut run, sub) =
-                            this.run_pair(spec.as_ref(), k, log, chain, i as u32, epoch);
+                        let (mut run, sub) = this.run_pair(
+                            spec.as_ref(),
+                            k,
+                            feed,
+                            chain,
+                            spool_root,
+                            i as u32,
+                            epoch,
+                        );
                         run.requested = requested.clone();
                         tx.send((i, run, sub)).expect("collector outlives workers");
                     }
@@ -757,6 +833,11 @@ impl<'a> Experiment<'a> {
             }
             runs.push(run);
         }
+        if let Some(session) = session {
+            // a panicking run never reaches this: the session's Drop
+            // keeps the directory and logs its path for inspection
+            session.finish().expect("remove spill session");
+        }
         ExperimentReport {
             seed: self.seed,
             window: self.window,
@@ -773,12 +854,14 @@ impl<'a> Experiment<'a> {
     /// thread lane `pair + 1` of process 0 (lane 0 is the pipeline
     /// itself) and slots the replay's virtual trace into process
     /// `pair + 1`.
+    #[allow(clippy::too_many_arguments)]
     fn run_pair(
         &self,
         spec: &dyn StrategySpec,
         k: ShardCount,
-        log: &InteractionLog,
+        feed: &EventFeed<'_>,
         chain: Option<&SyntheticChain>,
+        spool_root: Option<&std::path::Path>,
         pair: u32,
         epoch: Option<Instant>,
     ) -> (ExperimentRun, Option<Trace>) {
@@ -797,7 +880,13 @@ impl<'a> Experiment<'a> {
         let config = spec.simulator_config(k).with_window(self.window);
         let mut sim = ShardSimulator::new(config, spec.build_partitioner(self.seed));
         let sim_start = obs.now_us();
-        let result = sim.run_traced(log, &mut obs);
+        let result = match feed {
+            EventFeed::Resident(log) => sim.run_traced(log, &mut obs),
+            EventFeed::Store(store) => {
+                let rows = store.iter().expect("open segment stream");
+                sim.run_stream_traced(rows.map(|r| r.expect("read segment event")), &mut obs)
+            }
+        };
         if obs.enabled() {
             let dur = obs.now_us() - sim_start;
             obs.record(
@@ -815,6 +904,9 @@ impl<'a> Experiment<'a> {
             }
             if let Some(gap) = self.inter_arrival_us {
                 cfg = cfg.with_inter_arrival_us(gap);
+            }
+            if let Some(spool) = spool_root {
+                cfg = cfg.with_state_spool_dir(spool.join(format!("spool-replay-{pair}")));
             }
             let runtime = ShardedRuntime::new(cfg, assignment);
             if obs.enabled() {
@@ -850,6 +942,10 @@ impl<'a> Experiment<'a> {
             }
             if let Some(gap) = self.inter_arrival_us {
                 runtime_cfg = runtime_cfg.with_inter_arrival_us(gap);
+            }
+            if let Some(spool) = spool_root {
+                runtime_cfg =
+                    runtime_cfg.with_state_spool_dir(spool.join(format!("spool-live-{pair}")));
             }
             let cfg = LiveConfig::new(k)
                 .with_window(self.window)
@@ -989,6 +1085,51 @@ mod tests {
         assert!(report
             .offline("r-metis[window=8]", ShardCount::TWO)
             .is_none());
+    }
+
+    #[test]
+    fn spill_backend_matches_in_memory_backend() {
+        let registry = StrategyRegistry::with_builtins();
+        let cfg = GeneratorConfig::test_scale(9).with_scale(0.01);
+        let run = |backend: StorageBackend| {
+            Experiment::from_generator(cfg.clone())
+                .named_strategies(&registry, "hash,ldg")
+                .unwrap()
+                .shard_counts(vec![ShardCount::TWO])
+                .seed(7)
+                .storage(backend)
+                .run()
+        };
+        let resident = run(StorageBackend::InMemory);
+        let spill_root = std::env::temp_dir().join("blockpart-core-test-spill");
+        let spilled = run(StorageBackend::spill(&spill_root, 64 * 1024));
+        assert_eq!(resident.to_json(), spilled.to_json());
+        // the spill session cleaned up after itself
+        let leftovers = std::fs::read_dir(&spill_root)
+            .map(|d| d.count())
+            .unwrap_or(0);
+        assert_eq!(leftovers, 0, "spill session not removed");
+        std::fs::remove_dir_all(&spill_root).ok();
+    }
+
+    #[test]
+    fn spooled_replay_matches_resident_replay() {
+        let chain = ChainGenerator::new(GeneratorConfig::test_scale(5)).generate();
+        let registry = StrategyRegistry::with_builtins();
+        let run = |backend: StorageBackend| {
+            Experiment::over_chain(&chain)
+                .named_strategies(&registry, "hash")
+                .unwrap()
+                .shard_counts(vec![ShardCount::TWO])
+                .replay(true)
+                .storage(backend)
+                .run()
+        };
+        let resident = run(StorageBackend::InMemory);
+        let spill_root = std::env::temp_dir().join("blockpart-core-test-spool");
+        let spooled = run(StorageBackend::spill(&spill_root, 1 << 20));
+        assert_eq!(resident.to_json(), spooled.to_json());
+        std::fs::remove_dir_all(&spill_root).ok();
     }
 
     #[test]

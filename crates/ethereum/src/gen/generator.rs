@@ -1,18 +1,66 @@
 //! The chain generator: drives era-shaped transaction batches through the
 //! EVM and collects the interaction log.
 
-use blockpart_graph::InteractionLog;
+use std::convert::Infallible;
+
+use blockpart_graph::{Interaction, InteractionLog};
 use blockpart_types::{Duration, Gas, Timestamp, Wei};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::block::BlockSummary;
 use crate::chain::{Chain, SyntheticChain};
 use crate::gen::era::EraTimeline;
 use crate::gen::inject::{InjectCtx, TrafficInjector};
 use crate::gen::workload::Population;
 use crate::program::ContractTemplate;
 use crate::state::World;
-use crate::transaction::{Transaction, TxPayload};
+use crate::transaction::{ExecutedTx, Transaction, TxPayload};
+
+/// Receives the generator's output one block at a time.
+///
+/// [`ChainGenerator::generate_into`] hands each executed block to the
+/// sink as it is produced — the block's summary, its interaction events
+/// (time-ordered) and its executed transactions — and drops them before
+/// the next block is built. A sink that writes to disk (e.g. the segment
+/// store in `blockpart-storage`) therefore bounds generation memory at
+/// `O(block)` plus the world state, instead of `O(chain)`.
+pub trait BlockSink {
+    /// The sink's failure type (`Infallible` for in-memory collectors).
+    type Error;
+
+    /// Consumes one executed block.
+    fn block(
+        &mut self,
+        summary: &BlockSummary,
+        events: &[Interaction],
+        txs: &[ExecutedTx],
+    ) -> Result<(), Self::Error>;
+}
+
+/// The collecting sink behind [`ChainGenerator::generate`]: accumulates
+/// every block back into the resident `SyntheticChain` shape.
+struct CollectSink {
+    log: InteractionLog,
+    txs: Vec<ExecutedTx>,
+}
+
+impl BlockSink for CollectSink {
+    type Error = Infallible;
+
+    fn block(
+        &mut self,
+        _summary: &BlockSummary,
+        events: &[Interaction],
+        txs: &[ExecutedTx],
+    ) -> Result<(), Infallible> {
+        for &e in events {
+            self.log.push(e);
+        }
+        self.txs.extend(txs.iter().cloned());
+        Ok(())
+    }
+}
 
 /// Configuration for [`ChainGenerator`].
 ///
@@ -144,10 +192,38 @@ impl ChainGenerator {
     }
 
     /// Runs the whole timeline and returns the chain plus its log.
-    pub fn generate(mut self) -> SyntheticChain {
+    ///
+    /// Memory contract: `O(chain)` — the log and transaction list are
+    /// collected resident. At large `--scale`, stream through
+    /// [`generate_into`](Self::generate_into) instead.
+    pub fn generate(self) -> SyntheticChain {
+        let mut sink = CollectSink {
+            log: InteractionLog::new(),
+            txs: Vec::new(),
+        };
+        let chain = match self.generate_into(&mut sink) {
+            Ok(chain) => chain,
+            Err(infallible) => match infallible {},
+        };
+        SyntheticChain {
+            chain,
+            log: sink.log,
+            txs: sink.txs,
+        }
+    }
+
+    /// Runs the whole timeline, handing each executed block to `sink` as
+    /// it is produced, and returns the final [`Chain`] (world state plus
+    /// block summaries).
+    ///
+    /// Memory contract: `O(block)` transient state per block plus the
+    /// world and population — the whole-chain log and transaction vectors
+    /// are never materialized here. [`generate`](Self::generate) is this
+    /// method run into a collecting sink, so for any given config the
+    /// block/event/transaction sequence a sink observes is byte-identical
+    /// to the resident `SyntheticChain` fields.
+    pub fn generate_into<S: BlockSink>(mut self, sink: &mut S) -> Result<Chain, S::Error> {
         let mut chain = Chain::new(self.config.seed ^ 0xb10c);
-        let mut log = InteractionLog::new();
-        let mut executed = Vec::new();
 
         self.genesis(chain.world_mut());
 
@@ -159,6 +235,7 @@ impl ChainGenerator {
         let mut carry = 0.0f64;
         let mut blocks_since_compact = 0usize;
         let mut eip150_applied = false;
+        let mut block_txs: Vec<ExecutedTx> = Vec::new();
         while t < end {
             if !eip150_applied && t >= EraTimeline::eip150_activation() {
                 chain.set_gas_schedule(crate::evm::GasSchedule::eip150());
@@ -189,11 +266,17 @@ impl ChainGenerator {
                 }
             }
             let submitted = txs.clone();
-            let (_, receipts) = chain.apply_block_with_receipts(t, txs, &mut log);
+            // A fresh per-block log: `push` order within the block is the
+            // same as appending to a whole-chain log, so collecting sinks
+            // reconstruct the resident log exactly.
+            let mut block_log = InteractionLog::new();
+            block_txs.clear();
+            let (summary, receipts) = chain.apply_block_with_receipts(t, txs, &mut block_log);
             for ((receipt, post), tx) in receipts.iter().zip(&posts).zip(&submitted) {
                 self.register_created(chain.world_mut(), receipt, post);
-                executed.push(crate::transaction::ExecutedTx::new(t, *tx, receipt));
+                block_txs.push(ExecutedTx::new(t, *tx, receipt));
             }
+            sink.block(&summary, block_log.events(), &block_txs)?;
 
             blocks_since_compact += 1;
             if blocks_since_compact >= 128 {
@@ -202,12 +285,7 @@ impl ChainGenerator {
             }
             t += step;
         }
-
-        SyntheticChain {
-            chain,
-            log,
-            txs: executed,
-        }
+        Ok(chain)
     }
 
     /// Seeds the world with an initial population and one contract of each
@@ -507,6 +585,43 @@ mod tests {
         let b = ChainGenerator::new(GeneratorConfig::test_scale(9)).generate();
         assert_eq!(a.log.events(), b.log.events());
         assert_eq!(a.chain.tx_count(), b.chain.tx_count());
+    }
+
+    #[test]
+    fn streamed_blocks_match_collected_chain() {
+        struct Probe {
+            events: Vec<Interaction>,
+            txs: usize,
+            blocks: Vec<blockpart_types::BlockNumber>,
+        }
+        impl BlockSink for Probe {
+            type Error = Infallible;
+            fn block(
+                &mut self,
+                summary: &BlockSummary,
+                events: &[Interaction],
+                txs: &[ExecutedTx],
+            ) -> Result<(), Infallible> {
+                self.events.extend_from_slice(events);
+                self.txs += txs.len();
+                self.blocks.push(summary.number);
+                Ok(())
+            }
+        }
+        let collected = ChainGenerator::new(GeneratorConfig::test_scale(9)).generate();
+        let mut probe = Probe {
+            events: Vec::new(),
+            txs: 0,
+            blocks: Vec::new(),
+        };
+        let chain = ChainGenerator::new(GeneratorConfig::test_scale(9))
+            .generate_into(&mut probe)
+            .unwrap();
+        assert_eq!(probe.events, collected.log.events());
+        assert_eq!(probe.txs, collected.txs.len());
+        assert_eq!(chain.tx_count(), collected.chain.tx_count());
+        assert_eq!(probe.blocks.len(), collected.chain.block_count());
+        assert!(probe.blocks.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

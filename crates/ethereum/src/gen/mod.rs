@@ -16,7 +16,7 @@ mod inject;
 mod workload;
 
 pub use era::{Era, EraTimeline, TxMix};
-pub use generator::{ChainGenerator, GeneratorConfig};
+pub use generator::{BlockSink, ChainGenerator, GeneratorConfig};
 pub use inject::{
     derive_seed, AaBatchInjector, DexArbInjector, DummySpamInjector, HubBurstInjector, InjectCtx,
     NftMintInjector, Pacer, PhaseShiftInjector, Span, TrafficInjector,

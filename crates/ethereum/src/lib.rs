@@ -36,7 +36,7 @@ mod program;
 mod state;
 mod transaction;
 
-pub use block::Block;
+pub use block::{Block, BlockSummary};
 pub use chain::{Chain, SyntheticChain};
 pub use pool::TxPool;
 pub use program::{ContractTemplate, Program};

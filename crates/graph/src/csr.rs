@@ -215,8 +215,11 @@ impl Csr {
 }
 
 /// Packs a directed edge `(u, v)` into the sort key used by the parallel
-/// CSR pass: rows stay contiguous and targets sort within a row.
-pub(crate) const fn edge_key(u: u32, v: u32) -> u64 {
+/// and out-of-core CSR passes: rows stay contiguous and targets sort
+/// within a row. Public so the spill-to-disk builders in
+/// [`crate::ooc`] and `blockpart-storage` share the exact key discipline
+/// of the in-memory merge.
+pub const fn edge_key(u: u32, v: u32) -> u64 {
     ((u as u64) << 32) | v as u64
 }
 
@@ -234,8 +237,11 @@ type CsrSegment = (Vec<usize>, Vec<u32>, Vec<u64>);
 /// The result is a pure function of the *multiset* of `(key, weight)`
 /// pairs: how the pairs were distributed over shards — and how rows are
 /// distributed over `workers` here — never changes the output. That is
-/// the determinism contract behind every parallel graph pass.
-pub(crate) fn merge_sorted_shards(
+/// the determinism contract behind every parallel graph pass, and it is
+/// why the external (spill-to-disk) merge in [`crate::ooc`] produces
+/// byte-identical CSR arrays: both are the same pure function of the
+/// multiset, evaluated by different schedules.
+pub fn merge_sorted_shards(
     n: usize,
     shards: &[Vec<(u64, u64)>],
     workers: usize,

@@ -1,6 +1,6 @@
 //! Time-ordered interaction logs and windowed graph construction.
 
-use blockpart_types::{AccountKind, Address, Timestamp};
+use blockpart_types::{AccountKind, Address, StorageBackend, Timestamp};
 use serde::{Deserialize, Serialize};
 
 use crate::graph::Graph;
@@ -163,6 +163,34 @@ impl InteractionLog {
     /// stay sorted — so this knob trades only wall-clock time.
     pub fn graph_of_workers(events: &[Interaction], workers: usize) -> Graph {
         crate::builder::graph_of_events(events, workers)
+    }
+
+    /// Builds a graph from a slice of interactions under the given
+    /// [`StorageBackend`].
+    ///
+    /// [`StorageBackend::InMemory`] is exactly
+    /// [`graph_of_workers`](Self::graph_of_workers). The spill backend
+    /// routes the edge accumulation through the external-memory builder
+    /// in [`crate::ooc`], which ignores `workers` (the external merge is
+    /// a streaming schedule) **without changing the output**: wherever
+    /// both backends fit, the results are byte-identical.
+    ///
+    /// Memory contract (spill): resident state is the address interner,
+    /// per-vertex arrays and the final graph — `O(V + E_distinct)`; the
+    /// `O(events)` edge accumulation is bounded by the backend's budget.
+    pub fn graph_of_backend(
+        events: &[Interaction],
+        backend: &StorageBackend,
+        workers: usize,
+    ) -> std::io::Result<Graph> {
+        match backend {
+            StorageBackend::InMemory => Ok(Self::graph_of_workers(events, workers)),
+            StorageBackend::Spill { .. } => {
+                let mut b = crate::ooc::OocGraphBuilder::new(backend)?;
+                b.push_chunk(events)?;
+                b.finish()
+            }
+        }
     }
 }
 

@@ -275,6 +275,34 @@ impl Graph {
         Csr::from_parts(xadj, adjncy, adjwgt, vwgt)
     }
 
+    /// Builds the symmetric CSR view under the given
+    /// [`StorageBackend`](blockpart_types::StorageBackend).
+    ///
+    /// `InMemory` is exactly [`to_csr_workers`](Self::to_csr_workers).
+    /// The spill backend symmetrizes through the external-memory path in
+    /// [`crate::ooc`], which ignores `workers` (the external merge is a
+    /// streaming schedule) **without changing the output**: wherever both
+    /// backends fit, the results are byte-identical.
+    ///
+    /// Memory contract (spill): resident state is the vertex-weight array
+    /// and the final CSR — the `O(E)` symmetrized accumulation is bounded
+    /// by the backend's budget. To avoid materializing the CSR entirely,
+    /// use [`crate::ooc::OocCsr::build`] and stream
+    /// [`rows`](crate::ooc::OocCsr::rows) instead.
+    pub fn to_csr_backend(
+        &self,
+        backend: &blockpart_types::StorageBackend,
+        workers: usize,
+    ) -> std::io::Result<Csr> {
+        match backend {
+            blockpart_types::StorageBackend::InMemory => Ok(self.to_csr_workers(workers)),
+            blockpart_types::StorageBackend::Spill {
+                dir,
+                mem_budget_bytes,
+            } => crate::ooc::OocCsr::build(self, dir, *mem_budget_bytes)?.into_csr(),
+        }
+    }
+
     /// Rebuilds the address → node index after deserialization.
     ///
     /// [`Graph`] serialization skips the lookup index; call this after

@@ -88,9 +88,27 @@ impl From<std::io::Error> for ReadTraceError {
 /// # Ok(())
 /// # }
 /// ```
-pub fn write_trace<W: Write>(mut writer: W, log: &InteractionLog) -> std::io::Result<()> {
+pub fn write_trace<W: Write>(writer: W, log: &InteractionLog) -> std::io::Result<()> {
+    write_trace_events(writer, log.events().iter().copied())
+}
+
+/// Writes an event stream in the plain-text trace format without
+/// requiring a resident [`InteractionLog`].
+///
+/// Memory contract: `O(1)` — each event is formatted and written as it is
+/// pulled from the iterator, so a generator or a
+/// disk-resident segment store can be exported at any scale.
+/// [`write_trace`] is this function applied to a resident log.
+///
+/// # Errors
+///
+/// Returns any I/O error from the underlying writer.
+pub fn write_trace_events<W: Write>(
+    mut writer: W,
+    events: impl IntoIterator<Item = Interaction>,
+) -> std::io::Result<()> {
     writeln!(writer, "# time from to weight from_kind to_kind")?;
-    for e in log.events() {
+    for e in events {
         writeln!(
             writer,
             "{} {} {} {} {} {}",
@@ -116,14 +134,52 @@ pub fn write_trace<W: Write>(mut writer: W, log: &InteractionLog) -> std::io::Re
 /// numbers, bad addresses, out-of-order timestamps).
 pub fn read_trace<R: Read>(reader: R) -> Result<InteractionLog, ReadTraceError> {
     let mut log = InteractionLog::new();
-    let mut last_time = None;
-    for (i, line) in BufReader::new(reader).lines().enumerate() {
-        let line = line?;
+    for event in read_trace_events(reader) {
+        log.push(event?);
+    }
+    Ok(log)
+}
+
+/// Streams a plain-text trace one event at a time without materializing
+/// an [`InteractionLog`].
+///
+/// Memory contract: `O(1)` — one line resident at a time, so arbitrarily
+/// large traces parse under a fixed budget. Ordering is still enforced:
+/// an out-of-order timestamp surfaces as [`ReadTraceError::Parse`] on the
+/// offending line. [`read_trace`] is this function collected into a log.
+///
+/// # Examples
+///
+/// ```
+/// use blockpart_graph::io::read_trace_events;
+///
+/// let text = "# header\n10 0x0000000000000000000000000000000000000001 \
+///             0x0000000000000000000000000000000000000002 1 a a\n";
+/// let events: Result<Vec<_>, _> = read_trace_events(text.as_bytes()).collect();
+/// assert_eq!(events.unwrap().len(), 1);
+/// ```
+pub fn read_trace_events<R: Read>(reader: R) -> TraceEvents<R> {
+    TraceEvents {
+        lines: BufReader::new(reader).lines(),
+        lineno: 0,
+        last_time: None,
+    }
+}
+
+/// The streaming iterator returned by [`read_trace_events`].
+pub struct TraceEvents<R: Read> {
+    lines: std::io::Lines<BufReader<R>>,
+    lineno: usize,
+    last_time: Option<Timestamp>,
+}
+
+impl<R: Read> TraceEvents<R> {
+    fn parse_line(&mut self, line: &str) -> Result<Option<Interaction>, ReadTraceError> {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
-            continue;
+            return Ok(None);
         }
-        let lineno = i + 1;
+        let lineno = self.lineno;
         let parse = |msg: &str| ReadTraceError::Parse {
             line: lineno,
             message: msg.to_string(),
@@ -133,27 +189,45 @@ pub fn read_trace<R: Read>(reader: R) -> Result<InteractionLog, ReadTraceError> 
             return Err(parse(&format!("expected 6 fields, found {}", fields.len())));
         }
         let time = Timestamp::from_secs(fields[0].parse().map_err(|_| parse("invalid timestamp"))?);
-        if let Some(last) = last_time {
+        if let Some(last) = self.last_time {
             if time < last {
                 return Err(parse("timestamps must be non-decreasing"));
             }
         }
-        last_time = Some(time);
+        self.last_time = Some(time);
         let from = parse_address(fields[1]).ok_or_else(|| parse("invalid from address"))?;
         let to = parse_address(fields[2]).ok_or_else(|| parse("invalid to address"))?;
         let weight: u64 = fields[3].parse().map_err(|_| parse("invalid weight"))?;
         let from_kind = parse_kind(fields[4]).ok_or_else(|| parse("invalid from kind"))?;
         let to_kind = parse_kind(fields[5]).ok_or_else(|| parse("invalid to kind"))?;
-        log.push(Interaction {
+        Ok(Some(Interaction {
             time,
             from,
             to,
             weight,
             from_kind,
             to_kind,
-        });
+        }))
     }
-    Ok(log)
+}
+
+impl<R: Read> Iterator for TraceEvents<R> {
+    type Item = Result<Interaction, ReadTraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let line = match self.lines.next()? {
+                Ok(l) => l,
+                Err(e) => return Some(Err(ReadTraceError::Io(e))),
+            };
+            self.lineno += 1;
+            match self.parse_line(&line) {
+                Ok(Some(event)) => return Some(Ok(event)),
+                Ok(None) => continue,
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
 }
 
 /// Renders `graph` in Graphviz DOT, in the style of the paper's Fig. 2:

@@ -46,11 +46,13 @@ mod event;
 mod graph;
 pub mod io;
 mod node;
+pub mod ooc;
 
 pub use builder::GraphBuilder;
-pub use csr::Csr;
+pub use csr::{edge_key, merge_sorted_shards, Csr};
 pub use event::{Interaction, InteractionLog};
 pub use graph::{EdgeRef, Graph, NodeRef};
 pub use node::NodeId;
+pub use ooc::{CsrRowStream, OocCsr, OocGraphBuilder};
 
-pub use blockpart_types::{AccountKind, Address};
+pub use blockpart_types::{AccountKind, Address, StorageBackend};

@@ -1,0 +1,629 @@
+//! Out-of-core (spill-to-disk) graph and CSR construction.
+//!
+//! The in-memory builders ([`crate::GraphBuilder`] and the sharded
+//! parallel path behind [`InteractionLog::graph_of`](crate::InteractionLog::graph_of)) hold the full edge
+//! accumulation resident, which caps experiments far below the paper's
+//! 30-month Ethereum history. This module provides the same builds under
+//! a memory budget:
+//!
+//! 1. **Budgeted accumulation.** Edge contributions land in a hash map
+//!    charged against `mem_budget_bytes`; when it fills, the map drains
+//!    into a *sorted run* of `(edge_key, weight)` pairs on disk.
+//! 2. **External merge.** Runs are k-way merged back in key order,
+//!    summing duplicates — the same pure-function-of-the-multiset
+//!    discipline as [`crate::csr::merge_sorted_shards`], evaluated by a
+//!    streaming schedule instead of a parallel one.
+//! 3. **Streamed row assembly.** The merged stream arrives row-major, so
+//!    CSR arrays are assembled in one pass — or handed to a consumer one
+//!    row at a time ([`CsrRowStream`]) without materializing the arrays
+//!    at all (the streaming partitioners use this).
+//!
+//! **Determinism-in-backend:** wherever both fit, the spill path is
+//! byte-identical to the in-memory path — vertex numbering is global
+//! first-appearance order, rows are sorted with duplicates summed, and
+//! neither depends on the run split. The existing
+//! determinism-in-worker-count guarantee extends across backends.
+//!
+//! **Memory contract:** the budget bounds the *edge accumulation* only.
+//! The address interner, per-vertex arrays (weights, kinds) and the
+//! final output (graph or CSR arrays, when materialized) stay resident —
+//! they are `O(V)`/`O(E_distinct)` where the accumulation is
+//! `O(events)`. Spill directories are per-run unique, removed on
+//! success, and kept (with a logged path) on failure.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::marker::PhantomData;
+use std::path::{Path, PathBuf};
+
+use blockpart_types::{AccountKind, Address, SpillSession, StorageBackend};
+
+use crate::csr::{edge_key, Csr};
+use crate::event::Interaction;
+use crate::graph::Graph;
+use crate::node::NodeId;
+
+/// Approximate resident bytes charged per edge-accumulator entry (two
+/// u64 words plus hash-map overhead). The budget divided by this gives
+/// the accumulator's entry capacity.
+const EDGE_ENTRY_BYTES: u64 = 48;
+
+/// A budgeted `(edge_key, weight)` accumulator that drains into sorted
+/// on-disk runs whenever it reaches its entry capacity.
+struct RunSpiller {
+    dir: PathBuf,
+    budget_entries: usize,
+    acc: HashMap<u64, u64>,
+    runs: Vec<PathBuf>,
+}
+
+impl RunSpiller {
+    fn new(dir: &Path, mem_budget_bytes: u64) -> RunSpiller {
+        let budget_entries = usize::try_from(mem_budget_bytes / EDGE_ENTRY_BYTES)
+            .unwrap_or(usize::MAX)
+            .max(1);
+        RunSpiller {
+            dir: dir.to_path_buf(),
+            budget_entries,
+            acc: HashMap::new(),
+            runs: Vec::new(),
+        }
+    }
+
+    fn add(&mut self, key: u64, weight: u64) -> io::Result<()> {
+        *self.acc.entry(key).or_insert(0) += weight;
+        if self.acc.len() >= self.budget_entries {
+            self.spill()?;
+        }
+        Ok(())
+    }
+
+    fn spill(&mut self) -> io::Result<()> {
+        if self.acc.is_empty() {
+            return Ok(());
+        }
+        let mut sorted: Vec<(u64, u64)> = self.acc.drain().collect();
+        sorted.sort_unstable_by_key(|&(k, _)| k);
+        let path = self.dir.join(format!("run-{:06}.bin", self.runs.len()));
+        let mut w = BufWriter::new(File::create(&path)?);
+        for &(k, v) in &sorted {
+            w.write_all(&k.to_le_bytes())?;
+            w.write_all(&v.to_le_bytes())?;
+        }
+        w.into_inner().map_err(io::Error::from)?.sync_data().ok();
+        self.runs.push(path);
+        Ok(())
+    }
+
+    /// Drains the resident tail into a final run and freezes the set.
+    fn finish(mut self) -> io::Result<SpilledRuns> {
+        self.spill()?;
+        Ok(SpilledRuns { runs: self.runs })
+    }
+}
+
+/// The frozen, re-mergeable sorted runs of one accumulation.
+struct SpilledRuns {
+    runs: Vec<PathBuf>,
+}
+
+impl SpilledRuns {
+    /// Opens a fresh merged view of the runs (streamable repeatedly).
+    fn stream(&self) -> io::Result<MergeStream> {
+        MergeStream::open(&self.runs)
+    }
+}
+
+/// One run's buffered reader plus its lookahead record.
+struct RunReader {
+    reader: BufReader<File>,
+}
+
+impl RunReader {
+    fn next(&mut self) -> io::Result<Option<(u64, u64)>> {
+        let mut buf = [0u8; 16];
+        match self.reader.read_exact(&mut buf) {
+            Ok(()) => {
+                let k = u64::from_le_bytes(buf[..8].try_into().expect("8 bytes"));
+                let w = u64::from_le_bytes(buf[8..].try_into().expect("8 bytes"));
+                Ok(Some((k, w)))
+            }
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// A k-way merge over sorted runs, summing duplicate keys: yields the
+/// exact `(key, weight)` sequence `merge_sorted_shards` would produce
+/// from the same multiset, in key order.
+struct MergeStream {
+    readers: Vec<RunReader>,
+    heap: BinaryHeap<Reverse<(u64, u64, usize)>>,
+}
+
+impl MergeStream {
+    fn open(runs: &[PathBuf]) -> io::Result<MergeStream> {
+        let mut readers = Vec::with_capacity(runs.len());
+        let mut heap = BinaryHeap::with_capacity(runs.len());
+        for (i, path) in runs.iter().enumerate() {
+            let mut reader = RunReader {
+                reader: BufReader::with_capacity(1 << 16, File::open(path)?),
+            };
+            if let Some((k, w)) = reader.next()? {
+                heap.push(Reverse((k, w, i)));
+            }
+            readers.push(reader);
+        }
+        Ok(MergeStream { readers, heap })
+    }
+
+    /// The next distinct key with its summed weight, in ascending key
+    /// order; `None` when the runs are exhausted.
+    fn next_edge(&mut self) -> io::Result<Option<(u64, u64)>> {
+        let Some(Reverse((key, mut weight, idx))) = self.heap.pop() else {
+            return Ok(None);
+        };
+        if let Some((k, w)) = self.readers[idx].next()? {
+            self.heap.push(Reverse((k, w, idx)));
+        }
+        while let Some(&Reverse((k, w, i))) = self.heap.peek() {
+            if k != key {
+                break;
+            }
+            self.heap.pop();
+            weight += w;
+            if let Some((nk, nw)) = self.readers[i].next()? {
+                self.heap.push(Reverse((nk, nw, i)));
+            }
+        }
+        Ok(Some((key, weight)))
+    }
+}
+
+/// Assembles CSR-shaped arrays from a merged key-ordered stream:
+/// `(offsets, targets, weights)` exactly as
+/// [`crate::csr::merge_sorted_shards`] lays them out.
+fn assemble(n: usize, stream: &mut MergeStream) -> io::Result<(Vec<usize>, Vec<u32>, Vec<u64>)> {
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.push(0usize);
+    let mut targets = Vec::new();
+    let mut weights = Vec::new();
+    let mut row = 0usize;
+    while let Some((key, weight)) = stream.next_edge()? {
+        let u = (key >> 32) as usize;
+        debug_assert!(u < n, "edge key row out of range");
+        while row < u {
+            offsets.push(targets.len());
+            row += 1;
+        }
+        targets.push(key as u32);
+        weights.push(weight);
+    }
+    while row < n {
+        offsets.push(targets.len());
+        row += 1;
+    }
+    Ok((offsets, targets, weights))
+}
+
+/// An incremental, budgeted graph builder fed interaction chunks.
+///
+/// Produces byte-identical output to [`InteractionLog::graph_of`](crate::InteractionLog::graph_of) over
+/// the concatenation of the pushed chunks (see the module docs for the
+/// memory contract).
+///
+/// # Examples
+///
+/// ```
+/// use blockpart_graph::{Interaction, InteractionLog, OocGraphBuilder};
+/// use blockpart_types::{Address, StorageBackend, Timestamp};
+///
+/// let events: Vec<Interaction> = (0..100)
+///     .map(|i| Interaction::new(
+///         Timestamp::from_secs(i),
+///         Address::from_index(i % 7),
+///         Address::from_index((i + 1) % 7),
+///     ))
+///     .collect();
+/// let backend = StorageBackend::spill(std::env::temp_dir(), 0); // pathological budget
+/// let mut b = OocGraphBuilder::new(&backend).unwrap();
+/// b.push_chunk(&events).unwrap();
+/// let spilled = b.finish().unwrap();
+/// let resident = InteractionLog::graph_of(&events);
+/// assert_eq!(spilled.edge_count(), resident.edge_count());
+/// assert_eq!(spilled.total_edge_weight(), resident.total_edge_weight());
+/// ```
+pub struct OocGraphBuilder {
+    session: Option<SpillSession>,
+    spiller: RunSpiller,
+    index: HashMap<Address, NodeId>,
+    addresses: Vec<Address>,
+    contract: Vec<bool>,
+    weights: Vec<u64>,
+}
+
+impl OocGraphBuilder {
+    /// Opens a builder under `backend`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `backend` is [`StorageBackend::InMemory`] — callers
+    /// choose the resident path (`InteractionLog::graph_of`) for that
+    /// backend; this type only implements the spill path.
+    pub fn new(backend: &StorageBackend) -> io::Result<OocGraphBuilder> {
+        let StorageBackend::Spill {
+            dir,
+            mem_budget_bytes,
+        } = backend
+        else {
+            panic!("OocGraphBuilder requires a spill backend");
+        };
+        let session = SpillSession::create(dir)?;
+        let spiller = RunSpiller::new(session.path(), *mem_budget_bytes);
+        Ok(OocGraphBuilder {
+            session: Some(session),
+            spiller,
+            index: HashMap::new(),
+            addresses: Vec::new(),
+            contract: Vec::new(),
+            weights: Vec::new(),
+        })
+    }
+
+    fn intern(&mut self, address: Address, kind: AccountKind) -> u32 {
+        match self.index.entry(address) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let id = e.get().as_u32();
+                self.contract[id as usize] |= kind.is_contract();
+                id
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let raw =
+                    u32::try_from(self.addresses.len()).expect("graph exceeds u32 vertex capacity");
+                e.insert(NodeId::new(raw));
+                self.addresses.push(address);
+                self.contract.push(kind.is_contract());
+                self.weights.push(0);
+                raw
+            }
+        }
+    }
+
+    /// Appends one interaction.
+    pub fn push(&mut self, e: &Interaction) -> io::Result<()> {
+        let u = self.intern(e.from, e.from_kind);
+        let v = self.intern(e.to, e.to_kind);
+        self.weights[u as usize] += e.weight;
+        if u == v {
+            return Ok(());
+        }
+        self.weights[v as usize] += e.weight;
+        self.spiller.add(edge_key(u, v), e.weight)
+    }
+
+    /// Appends a chunk of interactions (e.g. one segment's worth).
+    pub fn push_chunk(&mut self, events: &[Interaction]) -> io::Result<()> {
+        for e in events {
+            self.push(e)?;
+        }
+        Ok(())
+    }
+
+    /// Vertices interned so far.
+    pub fn node_count(&self) -> usize {
+        self.addresses.len()
+    }
+
+    /// Merges the spilled runs and freezes the graph; the spill
+    /// directory is removed on success.
+    pub fn finish(mut self) -> io::Result<Graph> {
+        let n = self.addresses.len();
+        let runs = std::mem::replace(&mut self.spiller, RunSpiller::new(Path::new(""), u64::MAX))
+            .finish()?;
+        let mut stream = runs.stream()?;
+        let (offsets, raw_targets, edge_weights) = assemble(n, &mut stream)?;
+        drop(stream);
+        let kinds: Vec<AccountKind> = self
+            .contract
+            .iter()
+            .map(|&c| {
+                if c {
+                    AccountKind::Contract
+                } else {
+                    AccountKind::ExternallyOwned
+                }
+            })
+            .collect();
+        let total_edge_weight = edge_weights.iter().sum();
+        let targets: Vec<NodeId> = raw_targets.into_iter().map(NodeId::new).collect();
+        let graph = Graph::from_parts(
+            std::mem::take(&mut self.addresses),
+            kinds,
+            std::mem::take(&mut self.weights),
+            offsets,
+            targets,
+            edge_weights,
+            total_edge_weight,
+            std::mem::take(&mut self.index),
+        );
+        if let Some(session) = self.session.take() {
+            session.finish()?;
+        }
+        Ok(graph)
+    }
+}
+
+/// A symmetrized CSR accumulated on disk: the spill-backed counterpart
+/// of [`Graph::to_csr`], either materialized ([`OocCsr::into_csr`]) or
+/// streamed row-by-row ([`OocCsr::rows`]) to a streaming partitioner
+/// without ever holding the adjacency arrays resident.
+///
+/// # Examples
+///
+/// ```
+/// use blockpart_graph::{GraphBuilder, OocCsr};
+/// use blockpart_types::Address;
+///
+/// let mut b = GraphBuilder::new();
+/// b.add_interaction(Address::from_index(0), Address::from_index(1), 2);
+/// b.add_interaction(Address::from_index(1), Address::from_index(2), 3);
+/// let g = b.build();
+/// let ooc = OocCsr::build(&g, &std::env::temp_dir(), 1024).unwrap();
+/// assert_eq!(ooc.undirected_edge_count(), 2);
+/// let csr = ooc.into_csr().unwrap();
+/// assert_eq!(csr, g.to_csr());
+/// ```
+pub struct OocCsr {
+    session: Option<SpillSession>,
+    runs: SpilledRuns,
+    vwgt: Vec<u64>,
+    n: usize,
+    undirected_edges: usize,
+}
+
+impl OocCsr {
+    /// Symmetrizes `graph` into budgeted sorted runs under a fresh spill
+    /// session in `dir`, then takes one counting pass over the merge so
+    /// the edge count is known before any row is consumed (Fennel's α
+    /// needs it up front).
+    pub fn build(graph: &Graph, dir: &Path, mem_budget_bytes: u64) -> io::Result<OocCsr> {
+        let session = SpillSession::create(dir)?;
+        let mut spiller = RunSpiller::new(session.path(), mem_budget_bytes);
+        for e in graph.edges() {
+            let (u, v) = (e.source.as_u32(), e.target.as_u32());
+            spiller.add(edge_key(u, v), e.weight)?;
+            spiller.add(edge_key(v, u), e.weight)?;
+        }
+        let runs = spiller.finish()?;
+        let mut stream = runs.stream()?;
+        let mut directed = 0usize;
+        while stream.next_edge()?.is_some() {
+            directed += 1;
+        }
+        let vwgt: Vec<u64> = (0..graph.node_count())
+            .map(|i| graph.node_weight(NodeId::new(i as u32)).max(1))
+            .collect();
+        Ok(OocCsr {
+            session: Some(session),
+            runs,
+            n: graph.node_count(),
+            vwgt,
+            undirected_edges: directed / 2,
+        })
+    }
+
+    /// Number of vertices.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of undirected edges (each counted once), known before any
+    /// row streams.
+    pub fn undirected_edge_count(&self) -> usize {
+        self.undirected_edges
+    }
+
+    /// The vertex weights (resident — `O(V)`, per the memory contract).
+    pub fn vertex_weights(&self) -> &[u64] {
+        &self.vwgt
+    }
+
+    /// Opens a fresh row stream over the merged runs. May be called
+    /// repeatedly; each call replays the merge from disk.
+    pub fn rows(&self) -> io::Result<CsrRowStream<'_>> {
+        Ok(CsrRowStream {
+            stream: self.runs.stream()?,
+            n: self.n,
+            row: 0,
+            pending: None,
+            _owner: PhantomData,
+        })
+    }
+
+    /// Materializes the full [`Csr`] — byte-identical to
+    /// [`Graph::to_csr`] on the source graph — and removes the spill
+    /// session.
+    pub fn into_csr(mut self) -> io::Result<Csr> {
+        let mut stream = self.runs.stream()?;
+        let (xadj, adjncy, adjwgt) = assemble(self.n, &mut stream)?;
+        drop(stream);
+        let csr = Csr::from_parts(xadj, adjncy, adjwgt, std::mem::take(&mut self.vwgt));
+        if let Some(session) = self.session.take() {
+            session.finish()?;
+        }
+        Ok(csr)
+    }
+
+    /// Removes the spill session after streaming completed successfully.
+    pub fn finish(mut self) -> io::Result<()> {
+        if let Some(session) = self.session.take() {
+            session.finish()?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for OocCsr {
+    fn drop(&mut self) {
+        // An OocCsr dropped without `finish`/`into_csr` keeps its spill
+        // directory (the session logs the path) — failure evidence.
+    }
+}
+
+/// Streams symmetric CSR rows in vertex order — every `v` in `0..n`,
+/// empty rows included — from the external merge, without materializing
+/// the adjacency arrays.
+pub struct CsrRowStream<'a> {
+    stream: MergeStream,
+    n: usize,
+    row: usize,
+    pending: Option<(u64, u64)>,
+    _owner: PhantomData<&'a OocCsr>,
+}
+
+impl CsrRowStream<'_> {
+    /// The next row as sorted `(neighbor, weight)` pairs; `None` after
+    /// row `n - 1`.
+    pub fn next_row(&mut self) -> io::Result<Option<Vec<(u32, u64)>>> {
+        if self.row >= self.n {
+            return Ok(None);
+        }
+        let mut out = Vec::new();
+        loop {
+            let head = match self.pending.take() {
+                Some(h) => Some(h),
+                None => self.stream.next_edge()?,
+            };
+            let Some((key, weight)) = head else { break };
+            let u = (key >> 32) as usize;
+            if u != self.row {
+                self.pending = Some((key, weight));
+                break;
+            }
+            out.push((key as u32, weight));
+        }
+        self.row += 1;
+        Ok(Some(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::InteractionLog;
+    use blockpart_types::Timestamp;
+
+    fn events(n: u64, spread: u64) -> Vec<Interaction> {
+        (0..n)
+            .map(|i| {
+                let mut e = Interaction::new(
+                    Timestamp::from_secs(i),
+                    Address::from_index(i % spread),
+                    Address::from_index((i * 7 + 3) % spread),
+                );
+                e.weight = 1 + i % 5;
+                if i % 11 == 0 {
+                    e.to_kind = AccountKind::Contract;
+                }
+                e
+            })
+            .collect()
+    }
+
+    fn spill_backend(budget: u64) -> StorageBackend {
+        StorageBackend::spill(
+            std::env::temp_dir().join("blockpart-graph-ooc-tests"),
+            budget,
+        )
+    }
+
+    fn build_spilled(events: &[Interaction], budget: u64) -> Graph {
+        let mut b = OocGraphBuilder::new(&spill_backend(budget)).unwrap();
+        b.push_chunk(events).unwrap();
+        b.finish().unwrap()
+    }
+
+    fn graphs_equal(a: &Graph, b: &Graph) -> bool {
+        a.node_count() == b.node_count()
+            && a.edge_count() == b.edge_count()
+            && a.total_edge_weight() == b.total_edge_weight()
+            && a.nodes().zip(b.nodes()).all(|(x, y)| x == y)
+            && a.edges().zip(b.edges()).all(|(x, y)| x == y)
+    }
+
+    #[test]
+    fn spilled_graph_matches_resident_graph() {
+        let evs = events(5_000, 300);
+        let resident = InteractionLog::graph_of_workers(&evs, 3);
+        for budget in [0u64, 1_000, 1 << 20] {
+            let spilled = build_spilled(&evs, budget);
+            assert!(graphs_equal(&spilled, &resident), "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn spilled_graph_handles_self_loops_and_kinds() {
+        let mut evs = events(200, 10);
+        evs.push(Interaction::new(
+            Timestamp::from_secs(1_000),
+            Address::from_index(3),
+            Address::from_index(3),
+        ));
+        let resident = InteractionLog::graph_of(&evs);
+        let spilled = build_spilled(&evs, 64);
+        assert!(graphs_equal(&spilled, &resident));
+    }
+
+    #[test]
+    fn ooc_csr_matches_to_csr() {
+        let evs = events(3_000, 150);
+        let g = InteractionLog::graph_of(&evs);
+        for budget in [0u64, 4_096, 1 << 22] {
+            let ooc = OocCsr::build(&g, &std::env::temp_dir(), budget).unwrap();
+            assert_eq!(ooc.undirected_edge_count(), g.to_csr().edge_count());
+            let csr = ooc.into_csr().unwrap();
+            assert_eq!(csr, g.to_csr(), "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn row_stream_replays_and_covers_all_rows() {
+        let evs = events(500, 40);
+        let g = InteractionLog::graph_of(&evs);
+        let csr = g.to_csr();
+        let ooc = OocCsr::build(&g, &std::env::temp_dir(), 128).unwrap();
+        for _ in 0..2 {
+            let mut rows = ooc.rows().unwrap();
+            let mut v = 0usize;
+            while let Some(row) = rows.next_row().unwrap() {
+                let expect: Vec<(u32, u64)> = csr.neighbors(v).collect();
+                assert_eq!(row, expect, "row {v}");
+                v += 1;
+            }
+            assert_eq!(v, csr.node_count());
+        }
+        ooc.finish().unwrap();
+    }
+
+    #[test]
+    fn empty_input_builds_empty_graph() {
+        let g = build_spilled(&[], 0);
+        assert!(g.is_empty());
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn spill_directory_removed_on_success() {
+        let root = std::env::temp_dir().join("blockpart-graph-ooc-clean");
+        let backend = StorageBackend::spill(&root, 0);
+        let mut b = OocGraphBuilder::new(&backend).unwrap();
+        b.push_chunk(&events(100, 10)).unwrap();
+        let _ = b.finish().unwrap();
+        let leftovers = std::fs::read_dir(&root).map(|d| d.count()).unwrap_or(0);
+        assert_eq!(leftovers, 0, "spill session must clean up after itself");
+        let _ = std::fs::remove_dir(&root);
+    }
+}

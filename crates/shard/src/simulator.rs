@@ -128,7 +128,7 @@ pub struct WindowRecord {
 }
 
 /// The outcome of a full simulation run.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct SimulationResult {
     /// Per-window records in time order.
     pub windows: Vec<WindowRecord>,
@@ -259,8 +259,35 @@ impl ShardSimulator {
         log: &InteractionLog,
         obs: &mut C,
     ) -> SimulationResult {
+        self.run_stream_traced(log.events().iter().copied(), obs)
+    }
+
+    /// Runs a time-ordered event stream without requiring a resident
+    /// [`InteractionLog`] — the out-of-core entry point, fed one event at
+    /// a time from a segment-store reader.
+    ///
+    /// Byte-identical to [`run`](Self::run) over the same event sequence
+    /// (the resident entry points delegate here). Memory contract: the
+    /// simulator's own cumulative state (`O(V + E_distinct)`) plus, under
+    /// `RepartitionScope::Window`, the `scope_window`-bounded recent-event
+    /// deque — the full stream is never materialized.
+    pub fn run_stream<I: IntoIterator<Item = Interaction>>(
+        &mut self,
+        events: I,
+    ) -> SimulationResult {
+        self.run_stream_traced(events, &mut Noop)
+    }
+
+    /// Like [`run_stream`](Self::run_stream) with instrumentation — see
+    /// [`run_traced`](Self::run_traced).
+    pub fn run_stream_traced<I, C>(&mut self, events: I, obs: &mut C) -> SimulationResult
+    where
+        I: IntoIterator<Item = Interaction>,
+        C: Collector,
+    {
         let mut result = SimulationResult::default();
-        let Some(first) = log.events().first() else {
+        let mut iter = events.into_iter();
+        let Some(first) = iter.next() else {
             return result;
         };
         let window = self.config.window;
@@ -270,7 +297,8 @@ impl ShardSimulator {
         let mut accum = WindowAccum::new(self.config.k);
         let mut last_repartition = window_start;
 
-        for event in log.events() {
+        for event in std::iter::once(first).chain(iter) {
+            let event = &event;
             while event.time >= window_start + window {
                 let boundary = window_start + window;
                 self.close_window(
@@ -501,6 +529,32 @@ mod tests {
             }
         }
         log
+    }
+
+    #[test]
+    fn streamed_run_matches_resident_run() {
+        let log = community_log(20);
+        for policy in [
+            RepartitionPolicy::Never,
+            RepartitionPolicy::Periodic {
+                interval: Duration::weeks(1),
+            },
+        ] {
+            let cfg = SimulatorConfig::new(ShardCount::TWO)
+                .with_placement(PlacementRule::MinCut)
+                .with_policy(policy);
+            let mut resident = ShardSimulator::new(
+                cfg.clone(),
+                Box::new(MultilevelPartitioner::new(MultilevelConfig::default())),
+            );
+            let r1 = resident.run(&log);
+            let mut streamed = ShardSimulator::new(
+                cfg,
+                Box::new(MultilevelPartitioner::new(MultilevelConfig::default())),
+            );
+            let r2 = streamed.run_stream(log.events().iter().copied());
+            assert_eq!(r1, r2, "streamed run diverged from resident run");
+        }
     }
 
     #[test]

@@ -1,0 +1,59 @@
+//! Out-of-core storage backend: the disk-resident data path that lets
+//! paper-scale experiments run under a fixed memory budget.
+//!
+//! The paper (Fynn & Pedone, DSN 2018) partitions 30 months of Ethereum
+//! — hundreds of millions of interactions — while a purely resident
+//! pipeline caps out far earlier. This crate supplies the three pieces
+//! that keep the working set bounded, all selected by the
+//! [`StorageBackend`] enum threaded down from the CLI:
+//!
+//! * [`SegmentStore`] / [`SegmentStoreWriter`] — an append-only columnar
+//!   segment store for interaction streams ([`segment`] documents the
+//!   `BPSG` on-disk framing), with per-segment min/max time and block
+//!   metadata for window pruning and segment-at-a-time readers;
+//! * graph and CSR builds over the store ([`SegmentStore::build_graph`],
+//!   [`SegmentStore::build_graph_window`]) that stream segments into the
+//!   external-memory builder in `blockpart_graph::ooc` — byte-identical
+//!   to the in-RAM builds wherever both fit;
+//! * [`AccountStateStore`] — a compact append-only account/contract
+//!   snapshot store, so 2PC state shipping serializes migration batches
+//!   from disk instead of a resident `World`.
+//!
+//! # Examples
+//!
+//! ```
+//! use blockpart_storage::SegmentStore;
+//! use blockpart_graph::Interaction;
+//! use blockpart_types::{Address, BlockNumber, StorageBackend, Timestamp};
+//!
+//! let dir = std::env::temp_dir().join("bpsg-lib-doc");
+//! let mut w = SegmentStore::writer(&dir, 8).unwrap();
+//! for t in 0..32u64 {
+//!     w.push(
+//!         Interaction::new(
+//!             Timestamp::from_secs(t),
+//!             Address::from_index(t % 5),
+//!             Address::from_index((t + 1) % 5),
+//!         ),
+//!         BlockNumber::new(t / 4),
+//!     ).unwrap();
+//! }
+//! let store = w.finish().unwrap();
+//! let backend = StorageBackend::spill(dir.join("spill"), 1024);
+//! let g = store.build_graph(&backend).unwrap();
+//! assert_eq!(g.node_count(), 5);
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod segment;
+mod state;
+mod store;
+
+pub use segment::{SegmentError, SegmentMeta, SEGMENT_MAGIC, SEGMENT_VERSION};
+pub use state::AccountStateStore;
+pub use store::{EventStream, SegmentStore, SegmentStoreWriter, DEFAULT_SEGMENT_EVENTS};
+
+pub use blockpart_types::{parse_mem_budget, SpillSession, StorageBackend};

@@ -28,10 +28,12 @@ mod address;
 mod parallelism;
 mod quantity;
 mod shard;
+mod storage;
 mod time;
 
 pub use address::{AccountKind, Address};
 pub use parallelism::{resolve_workers, split_ranges};
 pub use quantity::{BlockNumber, Gas, Wei};
 pub use shard::{ShardCount, ShardId};
+pub use storage::{parse_mem_budget, SpillSession, StorageBackend, MEM_BUDGET_ENV, SPILL_DIR_ENV};
 pub use time::{Duration, Timestamp};

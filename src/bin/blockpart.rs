@@ -39,7 +39,8 @@ use blockpart::ethereum::gen::{ChainGenerator, GeneratorConfig};
 use blockpart::graph::io::write_trace;
 use blockpart::live::{LiveConfig, LiveRunner};
 use blockpart::obs::perfetto;
-use blockpart::types::{Duration, ShardCount};
+use blockpart::storage::{SegmentStore, DEFAULT_SEGMENT_EVENTS};
+use blockpart::types::{parse_mem_budget, Duration, ShardCount, SpillSession, StorageBackend};
 
 const USAGE: &str = "\
 blockpart — blockchain-graph sharding study (Fynn & Pedone, DSN 2018)
@@ -55,8 +56,18 @@ COMMANDS:
                --scenario <s>  overlay an adversarial workload scenario,
                                `name[key=value;...]`, `+` composes
                                (default none: the friendly chain)
+               --mem-budget <size>  spill to disk under this budget
+                               (e.g. 512m, 2g): the chain streams
+                               block-by-block through an on-disk segment
+                               store, never holding the full log
+                               (default: BLOCKPART_MEM_BUDGET, else
+                               everything resident)
+               --spill-dir <path>   spill root (default:
+                               BLOCKPART_SPILL_DIR, else system temp)
     study      run partitioning strategies over a synthetic chain
                --scale, --seed, --scenario as above
+               --mem-budget, --spill-dir as above (the offline stage then
+               streams the workload from disk segments)
                --strategies <s,..>  strategy specs, `all` for the paper's
                                     five; parameterize with
                                     name[key=value;...]   (default all)
@@ -71,6 +82,8 @@ COMMANDS:
     runtime    execute the chain on each strategy's assignment through the
                sharded 2PC runtime and report coordination costs
                --scale, --seed, --scenario as above
+               --mem-budget, --spill-dir as above (2PC state shipping then
+               serializes through an on-disk account-state spool)
                --strategies <s,..>  (default hash,metis)
                --shards <k,..>   shard counts           (default 1,2,4)
                --latency-us <n>  one-way net latency    (default 1000)
@@ -84,6 +97,8 @@ COMMANDS:
                strategy's trigger policy, and real 2PC state migrations,
                starting from hash placement
                --scale, --seed, --scenario as above
+               --mem-budget, --spill-dir as above (migration batches then
+               serialize through the on-disk spool)
                --strategy <s>    partitioner/trigger strategy spec
                                                       (default tr-metis)
                --k <n>           shard count           (default 4)
@@ -144,7 +159,18 @@ fn run(
     let opts = parse_options(&args[1..])?;
     match command.as_str() {
         "generate" => {
-            ensure_known_options(&opts, "generate", &["scale", "seed", "out", "scenario"])?;
+            ensure_known_options(
+                &opts,
+                "generate",
+                &[
+                    "scale",
+                    "seed",
+                    "out",
+                    "scenario",
+                    "mem-budget",
+                    "spill-dir",
+                ],
+            )?;
             cmd_generate(scenarios, &opts)
         }
         "study" => {
@@ -162,6 +188,8 @@ fn run(
                     "json",
                     "trace",
                     "metrics",
+                    "mem-budget",
+                    "spill-dir",
                 ],
             )?;
             cmd_study(registry, scenarios, &opts)
@@ -187,6 +215,8 @@ fn run(
                     "json",
                     "trace",
                     "metrics",
+                    "mem-budget",
+                    "spill-dir",
                 ],
             )?;
             cmd_runtime(registry, scenarios, &opts)
@@ -207,6 +237,8 @@ fn run(
                     "arrival-us",
                     "json",
                     "trace",
+                    "mem-budget",
+                    "spill-dir",
                 ],
             )?;
             cmd_live(registry, scenarios, &opts)
@@ -367,6 +399,35 @@ fn shards_of(opts: &HashMap<String, String>, default: &[u16]) -> Result<Vec<Shar
         .collect()
 }
 
+/// Resolves the storage backend from `--mem-budget` / `--spill-dir`,
+/// falling back to `BLOCKPART_MEM_BUDGET` / `BLOCKPART_SPILL_DIR`
+/// ([`StorageBackend::from_env`]). `--spill-dir` without any budget is an
+/// error — a root with nothing to spill is a misconfiguration.
+fn storage_of(opts: &HashMap<String, String>) -> Result<StorageBackend, String> {
+    let budget = match opts.get("mem-budget") {
+        None => None,
+        Some(s) => Some(parse_mem_budget(s).ok_or_else(|| format!("invalid --mem-budget `{s}`"))?),
+    };
+    let dir = opts.get("spill-dir").map(std::path::PathBuf::from);
+    match (budget, dir) {
+        (Some(budget), dir) => {
+            let root = dir
+                .or_else(|| std::env::var_os(blockpart::types::SPILL_DIR_ENV).map(Into::into))
+                .unwrap_or_else(std::env::temp_dir);
+            Ok(StorageBackend::spill(root, budget))
+        }
+        (None, Some(dir)) => match StorageBackend::from_env() {
+            StorageBackend::Spill {
+                mem_budget_bytes, ..
+            } => Ok(StorageBackend::spill(dir, mem_budget_bytes)),
+            StorageBackend::InMemory => {
+                Err("--spill-dir requires --mem-budget (or BLOCKPART_MEM_BUDGET)".into())
+            }
+        },
+        (None, None) => Ok(StorageBackend::from_env()),
+    }
+}
+
 /// Resolves `--scenario` (a `name[key=value;...]` spec, `+`-composable)
 /// through the scenario registry; `None` means the friendly chain.
 fn scenario_of(
@@ -411,11 +472,46 @@ fn cmd_generate(
     opts: &HashMap<String, String>,
 ) -> Result<(), String> {
     let scenario = scenario_of(scenarios, opts)?;
-    let chain = generate(opts, scenario.as_ref())?;
+    let storage = storage_of(opts)?;
     let default_out = "trace.txt".to_string();
     let out = opts.get("out").unwrap_or(&default_out);
     let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
-    write_trace(BufWriter::new(file), &chain.log).map_err(|e| format!("write failed: {e}"))?;
+    // Scenario injectors need the resident chain; the plain generator can
+    // stream block-by-block through an on-disk segment store, so the full
+    // log is never in memory.
+    if storage.is_spill() && scenario.is_none() {
+        let scale = scale_of(opts)?;
+        let seed = seed_of(opts)?;
+        eprintln!("generating 30-month history (scale {scale}, seed {seed}, {storage})...");
+        let root = storage.spill_dir().expect("spill backend has a root");
+        let session = SpillSession::create(root).map_err(|e| format!("spill session: {e}"))?;
+        let io = |e| format!("segment store: {e}");
+        let mut writer =
+            SegmentStore::writer(session.path().join("events"), DEFAULT_SEGMENT_EVENTS)
+                .map_err(io)?;
+        let config = GeneratorConfig::demo_scale(seed).with_scale(scale);
+        ChainGenerator::new(config)
+            .generate_into(&mut writer)
+            .map_err(io)?;
+        let store = writer.finish().map_err(io)?;
+        eprintln!(
+            "  {} interactions across {} segments",
+            store.event_count(),
+            store.segment_count()
+        );
+        let events = store
+            .iter()
+            .map_err(io)?
+            .map(|r| r.expect("re-read freshly written segment"));
+        blockpart::graph::io::write_trace_events(BufWriter::new(file), events)
+            .map_err(|e| format!("write failed: {e}"))?;
+        session
+            .finish()
+            .map_err(|e| format!("spill cleanup: {e}"))?;
+    } else {
+        let chain = generate(opts, scenario.as_ref())?;
+        write_trace(BufWriter::new(file), &chain.log).map_err(|e| format!("write failed: {e}"))?;
+    }
     eprintln!("wrote {out}");
     Ok(())
 }
@@ -483,16 +579,34 @@ fn cmd_study(
     let spec = strategy_spec_of(opts, "all")?;
     registry.resolve_list(spec).map_err(|e| e.to_string())?;
     let scenario = scenario_of(scenarios, opts)?;
+    let storage = storage_of(opts)?;
     let shards = shards_of(opts, &[2, 4, 8])?;
     let seed = seed_of(opts)?;
-    let chain = generate(opts, scenario.as_ref())?;
-    let report = Experiment::over_log(&chain.log)
-        .named_strategies(registry, spec)
-        .map_err(|e| e.to_string())?
-        .shard_counts(shards)
-        .seed(seed)
-        .trace(tracing_requested(opts))
-        .run();
+    let scale = scale_of(opts)?;
+    match &scenario {
+        Some(s) => eprintln!(
+            "study over 30-month history (scale {scale}, seed {seed}, scenario {}, {storage})...",
+            s.name()
+        ),
+        None => {
+            eprintln!("study over 30-month history (scale {scale}, seed {seed}, {storage})...")
+        }
+    }
+    // A generator workload lets the pipeline synthesize straight into the
+    // spill backend's segment store when one is configured; resident runs
+    // produce the identical report.
+    let mut experiment =
+        Experiment::from_generator(GeneratorConfig::demo_scale(seed).with_scale(scale))
+            .named_strategies(registry, spec)
+            .map_err(|e| e.to_string())?
+            .shard_counts(shards)
+            .seed(seed)
+            .storage(storage)
+            .trace(tracing_requested(opts));
+    if let Some(scenario) = scenario {
+        experiment = experiment.scenario(scenario);
+    }
+    let report = experiment.run();
     print_report(&report, json_of(opts), false);
     if tracing_requested(opts) {
         export_observability(&report, opts, false)?;
@@ -529,6 +643,7 @@ fn cmd_runtime(
     let seed = seed_of(opts)?;
     let latency_us = micros_of(opts, "latency-us", 1_000)?;
     let arrival_us = micros_of(opts, "arrival-us", 500)?;
+    let storage = storage_of(opts)?;
     let chain = generate(opts, scenario.as_ref())?;
     let report = Experiment::over_chain(&chain)
         .named_strategies(registry, spec)
@@ -539,6 +654,7 @@ fn cmd_runtime(
         .replay(true)
         .net_latency_us(latency_us)
         .inter_arrival_us(arrival_us)
+        .storage(storage)
         .trace(tracing_requested(opts))
         .run();
     print_report(&report, json_of(opts), true);
@@ -595,6 +711,7 @@ fn cmd_live(
     let seed = seed_of(opts)?;
     let latency_us = micros_of(opts, "latency-us", 1_000)?;
     let arrival_us = micros_of(opts, "arrival-us", 500)?;
+    let storage = storage_of(opts)?;
     let chain = generate(opts, scenario.as_ref())?;
 
     // the strategy's own trigger/scope settings drive the live loop
@@ -606,6 +723,14 @@ fn cmd_live(
         .with_net_latency_us(latency_us)
         .with_inter_arrival_us(arrival_us);
     runtime_cfg.k = k;
+    // with a spill backend, migration batches serialize through the
+    // on-disk account-state spool (removed on success, kept on failure)
+    let mut session = None;
+    if let Some(root) = storage.spill_dir() {
+        let s = SpillSession::create(root).map_err(|e| format!("spill session: {e}"))?;
+        runtime_cfg = runtime_cfg.with_state_spool_dir(s.path().join("spool-live"));
+        session = Some(s);
+    }
     let cfg = LiveConfig::new(k)
         .with_window(window)
         .with_depth(depth)
@@ -633,6 +758,11 @@ fn cmd_live(
     }
     if let Some(path) = opts.get("trace") {
         write_perfetto(path, &run.session.finish())?;
+    }
+    if let Some(session) = session {
+        session
+            .finish()
+            .map_err(|e| format!("spill cleanup: {e}"))?;
     }
     Ok(())
 }

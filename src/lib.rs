@@ -16,6 +16,8 @@
 //!   blocks and the era-driven workload generator;
 //! * [`shard`] — the sharding simulator (placement, repartition policies,
 //!   move accounting);
+//! * [`storage`] — the out-of-core backend: on-disk segment store,
+//!   external-memory CSR build, compact account-state spool;
 //! * [`runtime`] — the sharded 2PC execution engine;
 //! * [`live`] — the online repartitioning service: windowed graph,
 //!   triggered re-partition, live state migration through the 2PC
@@ -69,6 +71,7 @@ pub use blockpart_obs as obs;
 pub use blockpart_partition as partition;
 pub use blockpart_runtime as runtime;
 pub use blockpart_shard as shard;
+pub use blockpart_storage as storage;
 pub use blockpart_types as types;
 
 /// The README's code blocks, compile-tested as doctests (`cargo test`
