@@ -27,6 +27,9 @@ options:
   --scenarios LIST   comma-separated scenario specs (default all)
   --strategies LIST  comma-separated strategy specs (default hash,tr-metis)
   --k LIST           comma-separated shard counts (default 2)
+  --engine SPEC      intra-shard execution engine (default serial);
+                     informational column — engines are
+                     parity-guaranteed and never cause schema drift
   --out PATH         where to write the JSON report (default scenarios.json)
   --csv PATH         also write the matrix as CSV
   --check PATH       compare the matrix shape against a baseline document
@@ -78,6 +81,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     return Err("--k needs positive shard counts".into());
                 }
             }
+            "--engine" => config.engine = value("--engine")?,
             "--out" => out = value("--out")?,
             "--csv" => csv = Some(value("--csv")?),
             "--check" => check = Some(value("--check")?),

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+mod engine;
 mod experiment;
 pub mod experiments;
 mod methods;
@@ -48,6 +49,7 @@ mod scenario;
 mod strategy;
 mod study;
 
+pub use engine::{EngineFactory, EngineRegistry};
 pub use experiment::{Experiment, ExperimentReport, ExperimentRun};
 pub use methods::Method;
 pub use profile::{run_profile, ProfileReport};

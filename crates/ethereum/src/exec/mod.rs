@@ -1,0 +1,330 @@
+//! Pluggable intra-shard transaction execution engines.
+//!
+//! The sharded runtime prices the paper's cross-shard coordination, but
+//! *within* a shard every transaction used to execute serially. This
+//! module turns that step into an API: an [`ExecutionEngine`] executes a
+//! block of transactions against a [`World`] and commits in
+//! deterministic block order, so every engine produces byte-identical
+//! receipts and world state regardless of how it schedules the work.
+//!
+//! Two engines ship with the crate:
+//!
+//! - [`SerialEngine`] — the original one-at-a-time path.
+//! - [`ParallelEngine`] — a Block-STM-style optimistic scheduler:
+//!   speculative parallel execution over work-stealing lanes against a
+//!   multi-version [`OverlayView`], read-set validation in block order,
+//!   re-execution on conflict.
+//!
+//! Engines are selected by name through `blockpart_core::EngineRegistry`
+//! (`serial`, `parallel[lanes=0;retry=4;window=32]`) and threaded
+//! through `RuntimeConfig`, `Experiment` and the `--exec` CLI flag.
+
+mod parallel;
+mod view;
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+use blockpart_obs::Trace;
+
+use crate::evm::{ExecContext, Vm};
+use crate::state::World;
+use crate::transaction::{Receipt, Transaction};
+
+pub use parallel::ParallelEngine;
+pub use view::{execute_captured, speculate, OverlayView, Resource, Speculation, VmState};
+
+/// One transaction ready for engine execution: the transaction plus the
+/// deterministic per-transaction context (block time, entropy, gas).
+#[derive(Clone, Copy, Debug)]
+pub struct ExecRequest {
+    /// The transaction to execute.
+    pub tx: Transaction,
+    /// Its execution environment.
+    pub ctx: ExecContext,
+}
+
+impl ExecRequest {
+    /// Bundles a transaction with its context.
+    pub fn new(tx: Transaction, ctx: ExecContext) -> Self {
+        ExecRequest { tx, ctx }
+    }
+}
+
+/// Scheduler counters an engine accumulates while executing a block.
+///
+/// Every counter is derived from deterministic state, never from thread
+/// timing, so the numbers are identical across lane counts and reruns.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecMetrics {
+    /// Transactions executed speculatively.
+    pub speculated: u64,
+    /// Speculations whose read/write footprint was invalidated by an
+    /// earlier commit.
+    pub conflicts: u64,
+    /// Serial re-executions performed after a failed validation (or past
+    /// the per-wave retry budget).
+    pub re_executions: u64,
+    /// Speculation waves the block was executed in.
+    pub waves: u64,
+}
+
+impl ExecMetrics {
+    /// Accumulates another metrics record into this one.
+    pub fn merge(&mut self, other: &ExecMetrics) {
+        self.speculated += other.speculated;
+        self.conflicts += other.conflicts;
+        self.re_executions += other.re_executions;
+        self.waves += other.waves;
+    }
+}
+
+/// The result of executing one block through an engine: per-transaction
+/// receipts in block order plus the scheduler counters.
+#[derive(Clone, Debug)]
+pub struct BlockOutcome {
+    /// One receipt per submitted request, in block order.
+    pub receipts: Vec<Receipt>,
+    /// Scheduler counters for the block.
+    pub metrics: ExecMetrics,
+}
+
+/// A pluggable intra-shard execution engine.
+///
+/// The contract every engine must honor: receipts and the resulting
+/// world state are byte-identical to serial in-order execution, for any
+/// lane count and across reruns. Parallelism may only change wall-clock
+/// time and the [`ExecMetrics`] an engine happens to report about its
+/// own scheduling (which must themselves be lane-independent).
+pub trait ExecutionEngine: Send + Sync {
+    /// The engine's canonical name, including its configured parameters
+    /// (e.g. `parallel[lanes=0;retry=4;window=32]`). Machine-independent:
+    /// auto-sized parameters are reported as configured, not resolved.
+    fn name(&self) -> String;
+
+    /// Executes `block` against `world`, committing in block order.
+    fn execute_block(&self, world: &mut World, block: &[ExecRequest]) -> BlockOutcome;
+
+    /// Executes a single transaction directly — the hot path the
+    /// discrete-event shard worker drives one transaction at a time.
+    fn execute_one(&self, world: &mut World, req: &ExecRequest) -> Receipt {
+        Vm::execute(world, &req.tx, &req.ctx)
+    }
+
+    /// How many queued transactions the shard worker should execute
+    /// speculatively ahead of the commit point. `0` disables speculation
+    /// (the serial engine's answer).
+    fn speculation_window(&self) -> usize {
+        0
+    }
+
+    /// Speculatively executes `reqs` against a read-only `world`,
+    /// returning one [`Speculation`] per request (aligned by index).
+    /// Engines without speculation return an empty vector.
+    fn speculate(&self, _world: &World, _reqs: &[ExecRequest]) -> Vec<Speculation> {
+        Vec::new()
+    }
+
+    /// Like [`execute_block`](Self::execute_block), recording wall-clock
+    /// spans and scheduler counters into `trace`. The default records
+    /// the counters only; engines with internal parallelism also emit
+    /// per-lane spans.
+    fn execute_block_traced(
+        &self,
+        world: &mut World,
+        block: &[ExecRequest],
+        trace: &mut Trace,
+    ) -> BlockOutcome {
+        let out = self.execute_block(world, block);
+        record_metrics(trace, &out.metrics);
+        out
+    }
+}
+
+/// Records an outcome's scheduler counters into a trace's metric
+/// registry under the `exec/` prefix.
+pub(crate) fn record_metrics(trace: &mut Trace, metrics: &ExecMetrics) {
+    use blockpart_obs::Collector;
+    if !trace.enabled() {
+        return;
+    }
+    trace.add("exec/speculated", metrics.speculated);
+    trace.add("exec/conflicts", metrics.conflicts);
+    trace.add("exec/re_executions", metrics.re_executions);
+    trace.add("exec/waves", metrics.waves);
+}
+
+/// A cheaply clonable, shareable handle to an [`ExecutionEngine`].
+///
+/// `Deref`s to the trait object, so engine methods are called directly
+/// on the handle. The default handle is the serial engine — which is
+/// how every pre-existing entry point keeps its exact behavior.
+///
+/// # Examples
+///
+/// ```
+/// use blockpart_ethereum::exec::ExecHandle;
+///
+/// let engine = ExecHandle::default();
+/// assert_eq!(engine.name(), "serial");
+/// assert_eq!(engine.speculation_window(), 0);
+/// ```
+#[derive(Clone)]
+pub struct ExecHandle(Arc<dyn ExecutionEngine>);
+
+impl ExecHandle {
+    /// Wraps an engine in a shareable handle.
+    pub fn new(engine: impl ExecutionEngine + 'static) -> Self {
+        ExecHandle(Arc::new(engine))
+    }
+
+    /// Wraps an already-shared engine.
+    pub fn from_arc(engine: Arc<dyn ExecutionEngine>) -> Self {
+        ExecHandle(engine)
+    }
+}
+
+impl Default for ExecHandle {
+    fn default() -> Self {
+        ExecHandle::new(SerialEngine)
+    }
+}
+
+impl fmt::Debug for ExecHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ExecHandle({})", self.0.name())
+    }
+}
+
+impl Deref for ExecHandle {
+    type Target = dyn ExecutionEngine;
+
+    fn deref(&self) -> &Self::Target {
+        &*self.0
+    }
+}
+
+/// The original intra-shard execution path: every transaction executes
+/// directly on the world, one at a time, in block order.
+///
+/// # Examples
+///
+/// ```
+/// use blockpart_ethereum::exec::{ExecRequest, ExecutionEngine, SerialEngine};
+/// use blockpart_ethereum::evm::ExecContext;
+/// use blockpart_ethereum::{Transaction, TxPayload, World};
+/// use blockpart_types::{Gas, Timestamp, Wei};
+///
+/// let mut world = World::new();
+/// let alice = world.new_user(Wei::new(100));
+/// let bob = world.new_user(Wei::ZERO);
+/// let tx = Transaction {
+///     from: alice,
+///     to: bob,
+///     value: Wei::new(10),
+///     gas_limit: Gas::new(30_000),
+///     payload: TxPayload::Transfer,
+/// };
+/// let req = ExecRequest::new(tx, ExecContext::new(Timestamp::from_secs(1), 1, tx.gas_limit));
+/// let out = SerialEngine.execute_block(&mut world, &[req]);
+/// assert!(out.receipts[0].is_success());
+/// assert_eq!(out.metrics.speculated, 0);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SerialEngine;
+
+impl ExecutionEngine for SerialEngine {
+    fn name(&self) -> String {
+        "serial".to_string()
+    }
+
+    fn execute_block(&self, world: &mut World, block: &[ExecRequest]) -> BlockOutcome {
+        let receipts = block
+            .iter()
+            .map(|req| Vm::execute(world, &req.tx, &req.ctx))
+            .collect();
+        BlockOutcome {
+            receipts,
+            metrics: ExecMetrics::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockpart_types::{Gas, Timestamp, Wei};
+
+    use crate::program::ContractTemplate;
+    use crate::transaction::TxPayload;
+
+    fn world_with_token() -> (World, blockpart_types::Address, blockpart_types::Address) {
+        let mut world = World::new();
+        let user = world.new_user(Wei::new(1_000_000));
+        let token = world.create_contract(ContractTemplate::Token, user, user.index());
+        (world, user, token)
+    }
+
+    fn call(from: blockpart_types::Address, to: blockpart_types::Address, arg: u64) -> ExecRequest {
+        let tx = Transaction {
+            from,
+            to,
+            value: Wei::ZERO,
+            gas_limit: Gas::new(400_000),
+            payload: TxPayload::Call { arg },
+        };
+        ExecRequest::new(
+            tx,
+            ExecContext::new(Timestamp::from_secs(10), 3, tx.gas_limit),
+        )
+    }
+
+    #[test]
+    fn serial_engine_matches_direct_execution() {
+        let (mut w1, user, token) = world_with_token();
+        let mut w2 = w1.clone();
+        let req = call(user, token, user.index());
+        let direct = Vm::execute(&mut w1, &req.tx, &req.ctx);
+        let engine = SerialEngine.execute_block(&mut w2, &[req]);
+        assert_eq!(engine.receipts, vec![direct]);
+        assert_eq!(
+            w1.storage_load(token, user.index()),
+            w2.storage_load(token, user.index())
+        );
+    }
+
+    #[test]
+    fn default_handle_is_serial() {
+        let h = ExecHandle::default();
+        assert_eq!(h.name(), "serial");
+        assert_eq!(format!("{h:?}"), "ExecHandle(serial)");
+        assert!(h.speculate(&World::new(), &[]).is_empty());
+    }
+
+    #[test]
+    fn speculation_captures_token_call_as_read_and_write() {
+        // the satellite fix: a hub-contract call reads the program and
+        // writes storage, so the contract appears in both sets
+        let (world, user, token) = world_with_token();
+        let req = call(user, token, user.index());
+        let spec = speculate(&world, &req.tx, &req.ctx);
+        assert!(spec.read_addresses().contains(&token), "token not read");
+        assert!(spec.write_addresses().contains(&token), "token not written");
+        assert!(spec.read_addresses().contains(&user));
+        assert!(spec.write_addresses().contains(&user));
+    }
+
+    #[test]
+    fn metrics_merge_accumulates() {
+        let mut a = ExecMetrics {
+            speculated: 1,
+            conflicts: 2,
+            re_executions: 3,
+            waves: 4,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.speculated, 2);
+        assert_eq!(a.waves, 8);
+    }
+}

@@ -1,0 +1,406 @@
+//! The Block-STM-style optimistic parallel engine: speculative
+//! execution over work-stealing lanes, read-set validation against the
+//! committed prefix, re-execution on conflict, commit in block order.
+
+use std::collections::HashSet;
+
+use crossbeam::deque::{Injector, Steal};
+
+use crate::exec::view::{speculate, Resource, Speculation};
+use crate::exec::{record_metrics, BlockOutcome, ExecMetrics, ExecRequest, ExecutionEngine};
+use crate::state::World;
+use blockpart_obs::{Collector, Record, Trace};
+
+/// One lane's haul: its index, the `(request index, speculation)` pairs
+/// it stole, and how long it stayed busy (µs).
+type LaneHaul = (usize, Vec<(usize, Speculation)>, u64);
+
+/// Optimistic parallel intra-shard execution.
+///
+/// A block executes in *waves*: up to `window` transactions are executed
+/// speculatively in parallel against the wave-start world — each on its
+/// own copy-on-write [`OverlayView`](crate::exec::OverlayView), fanned
+/// out over `lanes` work-stealing workers on the vendored `crossbeam`
+/// deque — then committed in block order. Before a speculation commits,
+/// its read/write footprint is validated against everything the wave
+/// has committed ahead of it; a conflicting transaction is re-executed
+/// serially against the up-to-date world. After `retry` re-executions
+/// in one wave, the remainder of the wave skips validation and executes
+/// serially (the conflict storm has made speculation pointless).
+///
+/// Receipts, world state, and every [`ExecMetrics`] counter depend only
+/// on the block order and the wave geometry — never on the lane count
+/// or thread timing — so results are byte-identical across `lanes`
+/// values and reruns, with `lanes = 1` degrading to a sequential
+/// speculate-validate-commit loop.
+///
+/// # Examples
+///
+/// ```
+/// use blockpart_ethereum::exec::{ExecutionEngine, ParallelEngine};
+///
+/// let engine = ParallelEngine::new().with_lanes(2).with_retry(8);
+/// assert_eq!(engine.name(), "parallel[lanes=2;retry=8;window=32]");
+/// assert_eq!(engine.speculation_window(), 32);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelEngine {
+    lanes: usize,
+    retry: u32,
+    window: usize,
+}
+
+impl ParallelEngine {
+    /// Default configuration: auto-sized lanes (`0` = one per core,
+    /// honoring `BLOCKPART_THREADS`), 4 re-executions per wave before
+    /// the serial tail, 32-transaction waves.
+    pub fn new() -> Self {
+        ParallelEngine {
+            lanes: 0,
+            retry: 4,
+            window: 32,
+        }
+    }
+
+    /// Overrides the lane count (`0` = auto).
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        self.lanes = lanes;
+        self
+    }
+
+    /// Overrides the per-wave re-execution budget.
+    pub fn with_retry(mut self, retry: u32) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Overrides the wave size (clamped to at least 1).
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window.max(1);
+        self
+    }
+
+    /// Speculates every request in parallel, also reporting how many
+    /// transactions each lane executed and how long it was busy (the
+    /// wall-clock side channel behind per-lane trace spans).
+    fn speculate_lanes(
+        &self,
+        world: &World,
+        reqs: &[ExecRequest],
+    ) -> (Vec<Speculation>, Vec<LaneStat>) {
+        let lanes = blockpart_types::resolve_workers(self.lanes).min(reqs.len().max(1));
+        if lanes <= 1 || reqs.len() <= 1 {
+            let start = std::time::Instant::now();
+            let specs = reqs
+                .iter()
+                .map(|r| speculate(world, &r.tx, &r.ctx))
+                .collect::<Vec<_>>();
+            let stat = LaneStat {
+                lane: 0,
+                txs: reqs.len(),
+                busy_us: start.elapsed().as_micros() as u64,
+            };
+            return (specs, vec![stat]);
+        }
+        let injector = Injector::new();
+        for i in 0..reqs.len() {
+            injector.push(i);
+        }
+        let mut results: Vec<LaneHaul> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..lanes)
+                .map(|lane| {
+                    let injector = &injector;
+                    s.spawn(move |_| {
+                        let start = std::time::Instant::now();
+                        let mut local = Vec::new();
+                        loop {
+                            match injector.steal() {
+                                Steal::Success(i) => {
+                                    let r = &reqs[i];
+                                    local.push((i, speculate(world, &r.tx, &r.ctx)));
+                                }
+                                Steal::Empty => break,
+                                Steal::Retry => continue,
+                            }
+                        }
+                        (lane, local, start.elapsed().as_micros() as u64)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("speculation lane panicked"))
+                .collect()
+        })
+        .expect("speculation scope panicked");
+        results.sort_by_key(|&(lane, _, _)| lane);
+        let mut specs: Vec<Option<Speculation>> = vec![None; reqs.len()];
+        let mut stats = Vec::with_capacity(results.len());
+        for (lane, local, busy_us) in results {
+            stats.push(LaneStat {
+                lane,
+                txs: local.len(),
+                busy_us,
+            });
+            for (i, spec) in local {
+                specs[i] = Some(spec);
+            }
+        }
+        let specs = specs
+            .into_iter()
+            .map(|s| s.expect("every request speculated exactly once"))
+            .collect();
+        (specs, stats)
+    }
+
+    /// One wave: speculate in parallel, then commit in block order,
+    /// re-executing conflicted transactions against the live world.
+    fn commit_wave(
+        &self,
+        world: &mut World,
+        wave: &[ExecRequest],
+        specs: Vec<Speculation>,
+        metrics: &mut ExecMetrics,
+        receipts: &mut Vec<crate::transaction::Receipt>,
+    ) {
+        metrics.speculated += wave.len() as u64;
+        metrics.waves += 1;
+        let mut written: HashSet<Resource> = HashSet::new();
+        let mut wave_reexecs = 0u32;
+        for (req, spec) in wave.iter().zip(specs) {
+            let spec = if wave_reexecs > self.retry {
+                // serial tail: the re-execution budget is spent, so stop
+                // validating and execute against the live world
+                metrics.re_executions += 1;
+                speculate(world, &req.tx, &req.ctx)
+            } else if spec.conflicts_with(&written) {
+                metrics.conflicts += 1;
+                metrics.re_executions += 1;
+                wave_reexecs += 1;
+                speculate(world, &req.tx, &req.ctx)
+            } else {
+                spec
+            };
+            spec.apply(world);
+            written.extend(spec.writes().iter().copied());
+            receipts.push(spec.receipt().clone());
+        }
+    }
+}
+
+impl Default for ParallelEngine {
+    fn default() -> Self {
+        ParallelEngine::new()
+    }
+}
+
+/// What one speculation lane did during a wave.
+struct LaneStat {
+    lane: usize,
+    txs: usize,
+    busy_us: u64,
+}
+
+impl ExecutionEngine for ParallelEngine {
+    fn name(&self) -> String {
+        format!(
+            "parallel[lanes={};retry={};window={}]",
+            self.lanes, self.retry, self.window
+        )
+    }
+
+    fn execute_block(&self, world: &mut World, block: &[ExecRequest]) -> BlockOutcome {
+        let mut metrics = ExecMetrics::default();
+        let mut receipts = Vec::with_capacity(block.len());
+        for wave in block.chunks(self.window.max(1)) {
+            let (specs, _) = self.speculate_lanes(world, wave);
+            self.commit_wave(world, wave, specs, &mut metrics, &mut receipts);
+        }
+        BlockOutcome { receipts, metrics }
+    }
+
+    fn speculation_window(&self) -> usize {
+        self.window
+    }
+
+    fn speculate(&self, world: &World, reqs: &[ExecRequest]) -> Vec<Speculation> {
+        self.speculate_lanes(world, reqs).0
+    }
+
+    fn execute_block_traced(
+        &self,
+        world: &mut World,
+        block: &[ExecRequest],
+        trace: &mut Trace,
+    ) -> BlockOutcome {
+        let mut metrics = ExecMetrics::default();
+        let mut receipts = Vec::with_capacity(block.len());
+        for wave in block.chunks(self.window.max(1)) {
+            let wave_start = trace.now_us();
+            let (specs, lanes) = self.speculate_lanes(world, wave);
+            if trace.events() {
+                for stat in &lanes {
+                    trace.record(
+                        Record::span(wave_start, stat.busy_us, "exec", "exec.lane")
+                            .with_arg("lane", stat.lane)
+                            .with_arg("txs", stat.txs),
+                    );
+                }
+            }
+            self.commit_wave(world, wave, specs, &mut metrics, &mut receipts);
+        }
+        record_metrics(trace, &metrics);
+        BlockOutcome { receipts, metrics }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evm::ExecContext;
+    use crate::exec::SerialEngine;
+    use crate::program::ContractTemplate;
+    use crate::transaction::{Transaction, TxPayload};
+    use blockpart_types::{Address, Gas, Timestamp, Wei};
+
+    /// A conflict-dense block: every transaction hits the same token.
+    fn hub_block(world: &mut World, n: usize) -> Vec<ExecRequest> {
+        let owner = world.new_user(Wei::new(1_000_000));
+        let token = world.create_contract(ContractTemplate::Token, owner, owner.index());
+        (0..n)
+            .map(|i| {
+                let from = world.new_user(Wei::new(10_000));
+                let tx = Transaction {
+                    from,
+                    to: token,
+                    value: Wei::ZERO,
+                    gas_limit: Gas::new(400_000),
+                    payload: TxPayload::Call { arg: from.index() },
+                };
+                ExecRequest::new(
+                    tx,
+                    ExecContext::new(Timestamp::from_secs(5), i as u64 + 1, tx.gas_limit),
+                )
+            })
+            .collect()
+    }
+
+    /// A conflict-free block: disjoint transfer pairs.
+    fn disjoint_block(world: &mut World, n: usize) -> Vec<ExecRequest> {
+        (0..n)
+            .map(|i| {
+                let from = world.new_user(Wei::new(1_000));
+                let to = world.new_user(Wei::ZERO);
+                let tx = Transaction {
+                    from,
+                    to,
+                    value: Wei::new(7),
+                    gas_limit: Gas::new(30_000),
+                    payload: TxPayload::Transfer,
+                };
+                ExecRequest::new(
+                    tx,
+                    ExecContext::new(Timestamp::from_secs(5), i as u64 + 1, tx.gas_limit),
+                )
+            })
+            .collect()
+    }
+
+    fn worlds_equal(a: &World, b: &World, probe: &[Address]) {
+        assert_eq!(a.account_count(), b.account_count());
+        assert_eq!(a.contract_count(), b.contract_count());
+        assert_eq!(a.address_floor(), b.address_floor());
+        for &addr in probe {
+            assert_eq!(a.balance(addr), b.balance(addr), "balance of {addr:?}");
+            assert_eq!(
+                a.export_state(addr),
+                b.export_state(addr),
+                "state of {addr:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_hub_conflicts() {
+        let mut setup = World::new();
+        let block = hub_block(&mut setup, 40);
+        let mut serial_world = setup.clone();
+        let mut parallel_world = setup;
+        let serial = SerialEngine.execute_block(&mut serial_world, &block);
+        let parallel = ParallelEngine::new()
+            .with_lanes(4)
+            .execute_block(&mut parallel_world, &block);
+        assert_eq!(serial.receipts, parallel.receipts);
+        let probe: Vec<Address> = block.iter().flat_map(|r| [r.tx.from, r.tx.to]).collect();
+        worlds_equal(&serial_world, &parallel_world, &probe);
+        // every transaction after the wave head touches the token, so
+        // conflicts are guaranteed on a hub workload
+        assert!(parallel.metrics.conflicts > 0);
+        assert_eq!(parallel.metrics.speculated, 40);
+    }
+
+    #[test]
+    fn lane_count_does_not_change_outcome_or_metrics() {
+        let mut setup = World::new();
+        let block = hub_block(&mut setup, 48);
+        let mut outcomes = Vec::new();
+        for lanes in [1, 2, 5] {
+            let mut world = setup.clone();
+            let out = ParallelEngine::new()
+                .with_lanes(lanes)
+                .execute_block(&mut world, &block);
+            outcomes.push((out.receipts, out.metrics, world.address_floor()));
+        }
+        assert_eq!(outcomes[0], outcomes[1]);
+        assert_eq!(outcomes[1], outcomes[2]);
+    }
+
+    #[test]
+    fn disjoint_block_commits_without_conflicts() {
+        let mut setup = World::new();
+        let block = disjoint_block(&mut setup, 30);
+        let mut world = setup.clone();
+        let out = ParallelEngine::new()
+            .with_lanes(3)
+            .execute_block(&mut world, &block);
+        assert_eq!(out.metrics.conflicts, 0);
+        assert_eq!(out.metrics.re_executions, 0);
+        assert_eq!(out.metrics.waves, 1);
+        let mut serial_world = setup;
+        let serial = SerialEngine.execute_block(&mut serial_world, &block);
+        assert_eq!(serial.receipts, out.receipts);
+    }
+
+    #[test]
+    fn retry_budget_triggers_serial_tail_without_changing_results() {
+        let mut setup = World::new();
+        let block = hub_block(&mut setup, 40);
+        let mut strict_world = setup.clone();
+        let strict = ParallelEngine::new()
+            .with_retry(0)
+            .with_lanes(2)
+            .execute_block(&mut strict_world, &block);
+        let mut serial_world = setup;
+        let serial = SerialEngine.execute_block(&mut serial_world, &block);
+        assert_eq!(strict.receipts, serial.receipts);
+        // budget 0: the first conflict flips the wave into its serial
+        // tail, so re-executions exceed counted conflicts
+        assert!(strict.metrics.re_executions > strict.metrics.conflicts);
+    }
+
+    #[test]
+    fn traced_execution_matches_untraced() {
+        let mut setup = World::new();
+        let block = hub_block(&mut setup, 20);
+        let mut w1 = setup.clone();
+        let mut w2 = setup;
+        let engine = ParallelEngine::new().with_lanes(2);
+        let plain = engine.execute_block(&mut w1, &block);
+        let mut trace = Trace::new();
+        let traced = engine.execute_block_traced(&mut w2, &block, &mut trace);
+        assert_eq!(plain.receipts, traced.receipts);
+        assert_eq!(plain.metrics, traced.metrics);
+        assert!(trace.records().iter().any(|r| r.name == "exec.lane"));
+        assert!(trace.metrics_text().contains("exec/speculated"));
+    }
+}

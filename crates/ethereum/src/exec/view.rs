@@ -1,0 +1,442 @@
+//! The multi-version state view behind optimistic execution: a
+//! copy-on-write overlay over [`World`] that records the read and write
+//! footprint of one transaction while mirroring the world's semantics
+//! exactly, plus the portable [`Speculation`] that captures the result.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use blockpart_types::{AccountKind, Address, Wei};
+
+use crate::evm::{ExecContext, Vm};
+use crate::program::{ContractTemplate, Program};
+use crate::state::{AccountState, ContractState, World};
+use crate::transaction::{Receipt, Transaction};
+
+/// One unit of state the optimistic scheduler versions and validates.
+///
+/// Address granularity matches how speculative results are installed: a
+/// [`Speculation`] replaces whole per-address records, so two
+/// transactions touching the same address conflict even when they touch
+/// different storage slots.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Resource {
+    /// One address's account or contract record.
+    Addr(Address),
+    /// The contract-address allocator ([`World::address_floor`]):
+    /// contract creations read and advance it, so creations serialize
+    /// against each other and allocated addresses stay deterministic.
+    Allocator,
+}
+
+/// The world-state surface the EVM-lite interpreter executes against.
+///
+/// [`World`] implements it directly; [`OverlayView`] implements it as a
+/// recording copy-on-write layer. Every method takes `&mut self` so read
+/// tracking needs no interior mutability.
+pub trait VmState {
+    /// Bumps the sender nonce (see [`World::bump_nonce`]).
+    fn bump_nonce(&mut self, address: Address);
+    /// The kind of `address` (see [`World::kind`]).
+    fn kind(&mut self, address: Address) -> AccountKind;
+    /// The balance of any address (see [`World::balance`]).
+    fn balance(&mut self, address: Address) -> Wei;
+    /// Moves up to `value`, clamped at the sender's balance (see
+    /// [`World::transfer`]).
+    fn transfer(&mut self, from: Address, to: Address, value: Wei) -> Wei;
+    /// The program at `address`, if it holds a contract.
+    fn program_of(&mut self, address: Address) -> Option<Program>;
+    /// Reads a contract storage slot (see [`World::storage_load`]).
+    fn storage_load(&mut self, contract: Address, key: u64) -> u64;
+    /// Writes a contract storage slot (see [`World::storage_store`]).
+    fn storage_store(&mut self, contract: Address, key: u64, value: u64);
+    /// Creates a contract (see [`World::create_contract`]).
+    fn create_contract(
+        &mut self,
+        template: ContractTemplate,
+        creator: Address,
+        arg: u64,
+    ) -> Address;
+}
+
+impl VmState for World {
+    fn bump_nonce(&mut self, address: Address) {
+        World::bump_nonce(self, address);
+    }
+
+    fn kind(&mut self, address: Address) -> AccountKind {
+        World::kind(self, address)
+    }
+
+    fn balance(&mut self, address: Address) -> Wei {
+        World::balance(self, address)
+    }
+
+    fn transfer(&mut self, from: Address, to: Address, value: Wei) -> Wei {
+        World::transfer(self, from, to, value)
+    }
+
+    fn program_of(&mut self, address: Address) -> Option<Program> {
+        self.contract(address).map(|c| c.program.clone())
+    }
+
+    fn storage_load(&mut self, contract: Address, key: u64) -> u64 {
+        World::storage_load(self, contract, key)
+    }
+
+    fn storage_store(&mut self, contract: Address, key: u64, value: u64) {
+        World::storage_store(self, contract, key, value);
+    }
+
+    fn create_contract(
+        &mut self,
+        template: ContractTemplate,
+        creator: Address,
+        arg: u64,
+    ) -> Address {
+        World::create_contract(self, template, creator, arg)
+    }
+}
+
+/// A recording copy-on-write overlay over a shared [`World`].
+///
+/// Execution against the view leaves the base world untouched: mutated
+/// records are cloned into the overlay first, and every access is noted
+/// in the read/write footprint. [`into_speculation`](Self::into_speculation)
+/// freezes the overlay into a [`Speculation`] that can later be applied
+/// to the base — producing byte-for-byte the state direct execution
+/// would have produced (proptest-guarded in this crate's test suite).
+///
+/// # Examples
+///
+/// ```
+/// use blockpart_ethereum::exec::{speculate, Resource};
+/// use blockpart_ethereum::evm::ExecContext;
+/// use blockpart_ethereum::{Transaction, TxPayload, World};
+/// use blockpart_types::{Gas, Timestamp, Wei};
+///
+/// let mut world = World::new();
+/// let alice = world.new_user(Wei::new(1_000));
+/// let bob = world.new_user(Wei::ZERO);
+/// let tx = Transaction {
+///     from: alice,
+///     to: bob,
+///     value: Wei::new(5),
+///     gas_limit: Gas::new(30_000),
+///     payload: TxPayload::Transfer,
+/// };
+/// let ctx = ExecContext::new(Timestamp::from_secs(1), 7, tx.gas_limit);
+/// let spec = speculate(&world, &tx, &ctx);
+/// assert!(spec.receipt().is_success());
+/// assert_eq!(world.balance(bob), Wei::ZERO); // base untouched
+/// spec.apply(&mut world);
+/// assert_eq!(world.balance(bob), Wei::new(5));
+/// assert!(spec.writes().contains(&Resource::Addr(alice)));
+/// ```
+#[derive(Debug)]
+pub struct OverlayView<'a> {
+    base: &'a World,
+    accounts: HashMap<Address, AccountState>,
+    contracts: HashMap<Address, ContractState>,
+    next_index: u64,
+    reads: BTreeSet<Resource>,
+    writes: BTreeSet<Resource>,
+}
+
+impl<'a> OverlayView<'a> {
+    /// Creates an empty overlay over `base`.
+    pub fn new(base: &'a World) -> Self {
+        OverlayView {
+            base,
+            accounts: HashMap::new(),
+            contracts: HashMap::new(),
+            next_index: base.address_floor(),
+            reads: BTreeSet::new(),
+            writes: BTreeSet::new(),
+        }
+    }
+
+    /// Freezes the overlay into a portable [`Speculation`].
+    pub fn into_speculation(self, receipt: Receipt) -> Speculation {
+        let mut accounts: Vec<(Address, AccountState)> = self.accounts.into_iter().collect();
+        accounts.sort_by_key(|&(a, _)| a);
+        let mut contracts: Vec<(Address, ContractState)> = self.contracts.into_iter().collect();
+        contracts.sort_by_key(|&(a, _)| a);
+        Speculation {
+            receipt,
+            accounts,
+            contracts,
+            next_index: self.next_index,
+            reads: self.reads.into_iter().collect(),
+            writes: self.writes.into_iter().collect(),
+        }
+    }
+
+    fn note_read(&mut self, r: Resource) {
+        self.reads.insert(r);
+    }
+
+    fn note_write(&mut self, r: Resource) {
+        self.writes.insert(r);
+    }
+
+    /// Contract existence across overlay and base (the overlay never
+    /// deletes, so the union is authoritative).
+    fn is_contract(&self, address: Address) -> bool {
+        self.contracts.contains_key(&address) || self.base.is_contract(address)
+    }
+
+    /// Account existence across overlay and base.
+    fn account_exists(&self, address: Address) -> bool {
+        self.accounts.contains_key(&address) || self.base.account(address).is_some()
+    }
+
+    /// Materializes the contract record into the overlay (cloning from
+    /// base on first touch) and returns it, if the address is a contract.
+    fn contract_entry(&mut self, address: Address) -> Option<&mut ContractState> {
+        if !self.contracts.contains_key(&address) {
+            if let Some(c) = self.base.contract(address) {
+                self.contracts.insert(address, c.clone());
+            }
+        }
+        self.contracts.get_mut(&address)
+    }
+
+    /// Materializes the account record (default-initialized when the
+    /// base has none) — mirrors `accounts.entry(a).or_default()`.
+    fn account_entry(&mut self, address: Address) -> &mut AccountState {
+        if !self.accounts.contains_key(&address) {
+            let seed = self.base.account(address).copied().unwrap_or_default();
+            self.accounts.insert(address, seed);
+        }
+        self.accounts.get_mut(&address).expect("just materialized")
+    }
+
+    fn debit(&mut self, address: Address, value: Wei) {
+        // mirrors World::debit: contracts first, then existing accounts,
+        // and no entry is created for an unknown debtor
+        if self.is_contract(address) {
+            self.note_read(Resource::Addr(address));
+            self.note_write(Resource::Addr(address));
+            let c = self.contract_entry(address).expect("existence checked");
+            c.balance = c.balance.saturating_sub(value);
+        } else if self.account_exists(address) {
+            self.note_read(Resource::Addr(address));
+            self.note_write(Resource::Addr(address));
+            let a = self.account_entry(address);
+            a.balance = a.balance.saturating_sub(value);
+        }
+    }
+
+    fn credit(&mut self, address: Address, value: Wei) {
+        // mirrors World::credit: a credit to an unknown address
+        // materializes a fresh account entry
+        self.note_read(Resource::Addr(address));
+        self.note_write(Resource::Addr(address));
+        if self.is_contract(address) {
+            let c = self.contract_entry(address).expect("existence checked");
+            c.balance += value;
+        } else {
+            self.account_entry(address).balance += value;
+        }
+    }
+}
+
+impl VmState for OverlayView<'_> {
+    fn bump_nonce(&mut self, address: Address) {
+        // World::bump_nonce materializes an account entry even for
+        // contract addresses; the resulting nonce depends on the prior
+        // value, so this is a read as well as a write
+        self.note_read(Resource::Addr(address));
+        self.note_write(Resource::Addr(address));
+        self.account_entry(address).nonce += 1;
+    }
+
+    fn kind(&mut self, address: Address) -> AccountKind {
+        self.note_read(Resource::Addr(address));
+        if self.is_contract(address) {
+            AccountKind::Contract
+        } else {
+            AccountKind::ExternallyOwned
+        }
+    }
+
+    fn balance(&mut self, address: Address) -> Wei {
+        self.note_read(Resource::Addr(address));
+        if let Some(c) = self.contracts.get(&address) {
+            return c.balance;
+        }
+        if let Some(c) = self.base.contract(address) {
+            return c.balance;
+        }
+        if let Some(a) = self.accounts.get(&address) {
+            return a.balance;
+        }
+        self.base.account(address).map_or(Wei::ZERO, |a| a.balance)
+    }
+
+    fn transfer(&mut self, from: Address, to: Address, value: Wei) -> Wei {
+        // mirrors World::transfer: clamp at the sender's balance, then
+        // debit and credit
+        let available = self.balance(from);
+        let moved = if value > available { available } else { value };
+        self.debit(from, moved);
+        self.credit(to, moved);
+        moved
+    }
+
+    fn program_of(&mut self, address: Address) -> Option<Program> {
+        self.note_read(Resource::Addr(address));
+        if let Some(c) = self.contracts.get(&address) {
+            return Some(c.program.clone());
+        }
+        self.base.contract(address).map(|c| c.program.clone())
+    }
+
+    fn storage_load(&mut self, contract: Address, key: u64) -> u64 {
+        self.note_read(Resource::Addr(contract));
+        if let Some(c) = self.contracts.get(&contract) {
+            return c.storage.get(&key).copied().unwrap_or(0);
+        }
+        self.base.storage_load(contract, key)
+    }
+
+    fn storage_store(&mut self, contract: Address, key: u64, value: u64) {
+        // installing the record copies the whole storage map, so the
+        // prior contents are a dependency: read and write
+        self.note_read(Resource::Addr(contract));
+        self.note_write(Resource::Addr(contract));
+        self.contract_entry(contract)
+            .expect("storage write outside a contract")
+            .storage
+            .insert(key, value);
+    }
+
+    fn create_contract(
+        &mut self,
+        template: ContractTemplate,
+        creator: Address,
+        arg: u64,
+    ) -> Address {
+        self.note_read(Resource::Allocator);
+        self.note_write(Resource::Allocator);
+        let address = Address::from_index(self.next_index);
+        self.next_index += 1;
+        self.note_write(Resource::Addr(address));
+        let storage = template.initial_storage(arg).into_iter().collect();
+        self.contracts.insert(
+            address,
+            ContractState {
+                template,
+                program: template.program(),
+                storage,
+                balance: Wei::ZERO,
+                creator,
+            },
+        );
+        address
+    }
+}
+
+/// The frozen result of executing one transaction against an
+/// [`OverlayView`]: the receipt, the per-address records the execution
+/// produced, and the read/write footprint the scheduler validates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Speculation {
+    receipt: Receipt,
+    accounts: Vec<(Address, AccountState)>,
+    contracts: Vec<(Address, ContractState)>,
+    next_index: u64,
+    reads: Vec<Resource>,
+    writes: Vec<Resource>,
+}
+
+impl Speculation {
+    /// The speculative receipt (identical to direct execution's when the
+    /// speculation validates).
+    pub fn receipt(&self) -> &Receipt {
+        &self.receipt
+    }
+
+    /// Resources read during execution, ascending.
+    pub fn reads(&self) -> &[Resource] {
+        &self.reads
+    }
+
+    /// Resources written during execution, ascending.
+    pub fn writes(&self) -> &[Resource] {
+        &self.writes
+    }
+
+    /// Every resource this speculation depends on (reads and writes —
+    /// installed records carry absolute values, so writes are
+    /// dependencies too).
+    pub fn deps(&self) -> impl Iterator<Item = &Resource> {
+        self.reads.iter().chain(self.writes.iter())
+    }
+
+    /// Whether any dependency overlaps the given committed write set —
+    /// the optimistic scheduler's validation step.
+    pub fn conflicts_with(&self, written: &HashSet<Resource>) -> bool {
+        self.deps().any(|r| written.contains(r))
+    }
+
+    /// Read dependencies as plain addresses, in ascending address order.
+    /// [`Address::ZERO`] is excluded (it is not real state), matching the
+    /// `touched` access-list convention.
+    pub fn read_addresses(&self) -> Vec<Address> {
+        resource_addresses(&self.reads)
+    }
+
+    /// Written resources as plain addresses, ascending,
+    /// [`Address::ZERO`]-excluded.
+    pub fn write_addresses(&self) -> Vec<Address> {
+        resource_addresses(&self.writes)
+    }
+
+    /// Installs the speculative records into `world`, reproducing
+    /// byte-for-byte the state direct execution would have left.
+    pub fn apply(&self, world: &mut World) {
+        for &(a, s) in &self.accounts {
+            world.set_account_record(a, s);
+        }
+        for (a, c) in &self.contracts {
+            world.set_contract_record(*a, c.clone());
+        }
+        world.raise_address_floor(self.next_index);
+    }
+}
+
+fn resource_addresses(resources: &[Resource]) -> Vec<Address> {
+    resources
+        .iter()
+        .filter_map(|r| match r {
+            Resource::Addr(a) if *a != Address::ZERO => Some(*a),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Executes `tx` speculatively against a read-only `world`, capturing
+/// the receipt, result records and read/write footprint. The base world
+/// is not modified; apply the returned [`Speculation`] to commit.
+pub fn speculate(world: &World, tx: &Transaction, ctx: &ExecContext) -> Speculation {
+    let mut view = OverlayView::new(world);
+    let receipt = Vm::execute(&mut view, tx, ctx);
+    view.into_speculation(receipt)
+}
+
+/// Executes `tx` directly on `world` through the overlay, returning the
+/// receipt together with the exact read/write address footprint — the
+/// capture path the chain generator uses to split `touched` into
+/// declared read and write sets.
+pub fn execute_captured(
+    world: &mut World,
+    tx: &Transaction,
+    ctx: &ExecContext,
+) -> (Receipt, Vec<Address>, Vec<Address>) {
+    let spec = speculate(world, tx, ctx);
+    spec.apply(world);
+    let reads = spec.read_addresses();
+    let writes = spec.write_addresses();
+    (spec.receipt, reads, writes)
+}

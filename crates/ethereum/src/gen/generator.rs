@@ -271,10 +271,16 @@ impl ChainGenerator {
             // reconstruct the resident log exactly.
             let mut block_log = InteractionLog::new();
             block_txs.clear();
-            let (summary, receipts) = chain.apply_block_with_receipts(t, txs, &mut block_log);
-            for ((receipt, post), tx) in receipts.iter().zip(&posts).zip(&submitted) {
-                self.register_created(chain.world_mut(), receipt, post);
-                block_txs.push(ExecutedTx::new(t, *tx, receipt));
+            let (summary, outcomes) = chain.apply_block_with_outcomes(t, txs, &mut block_log);
+            for ((outcome, post), tx) in outcomes.into_iter().zip(&posts).zip(&submitted) {
+                self.register_created(chain.world_mut(), &outcome.receipt, post);
+                block_txs.push(ExecutedTx::with_access(
+                    t,
+                    *tx,
+                    &outcome.receipt,
+                    outcome.reads,
+                    outcome.writes,
+                ));
             }
             sink.block(&summary, block_log.events(), &block_txs)?;
 

@@ -1,0 +1,184 @@
+//! Property tests for the execution-engine contract: speculative overlay
+//! execution and the parallel engine are byte-identical to direct serial
+//! execution — receipts, both world maps, and the allocator floor —
+//! for arbitrary transaction sequences, any lane count, and across reruns.
+
+use blockpart_ethereum::evm::{ExecContext, GasSchedule, Vm};
+use blockpart_ethereum::exec::{
+    speculate, ExecRequest, ExecutionEngine, ParallelEngine, SerialEngine,
+};
+use blockpart_ethereum::{AccountState, ContractState, ContractTemplate, World};
+use blockpart_ethereum::{Transaction, TxPayload};
+use blockpart_types::{Address, Gas, Timestamp, Wei};
+use proptest::prelude::*;
+
+/// A deterministic world with users and one contract of every template —
+/// hubs, forwarders, creators — so speculation exercises every opcode.
+fn seed_world() -> (World, Vec<Address>) {
+    let mut world = World::new();
+    let users: Vec<Address> = (0..6)
+        .map(|i| world.new_user(Wei::new(1_000_000 + 70_000 * i)))
+        .collect();
+    let token = world.create_contract(ContractTemplate::Token, users[0], users[0].index());
+    let crowdsale = world.create_contract(ContractTemplate::Crowdsale, users[1], users[1].index());
+    let wallet = world.create_contract(ContractTemplate::Wallet, users[2], users[2].index());
+    let factory = world.create_contract(ContractTemplate::Factory, users[3], 0);
+    let game = world.create_contract(ContractTemplate::Game, users[4], users[4].index());
+    let registry = world.create_contract(ContractTemplate::Registry, users[5], 7);
+    let mut targets = users.clone();
+    targets.extend([token, crowdsale, wallet, factory, game, registry]);
+    (world, targets)
+}
+
+/// Byte-exact view of a world: both record maps (an address can hold an
+/// account *and* a contract record after nonce materialization) plus the
+/// allocator floor, in sorted order.
+type Snapshot = (
+    u64,
+    Vec<(Address, Option<AccountState>, Option<ContractState>)>,
+);
+
+fn snapshot(world: &World) -> Snapshot {
+    let mut addrs: Vec<Address> = world.addresses().collect();
+    addrs.sort_unstable();
+    addrs.dedup();
+    let rows = addrs
+        .into_iter()
+        .map(|a| (a, world.account(a).copied(), world.contract(a).cloned()))
+        .collect();
+    (world.address_floor(), rows)
+}
+
+/// One random transaction: sender is always a user, the target anything,
+/// the payload spans every variant (including out-of-range templates).
+fn tx_strategy() -> impl Strategy<Value = (usize, usize, u64, u32, u32, u64)> {
+    (
+        0usize..6,    // from: user slot
+        0usize..12,   // to: any of the 12 seeded addresses
+        0u64..=2_000, // value
+        0u32..3,      // gas-limit selector
+        0u32..4,      // payload selector
+        0u64..50,     // payload arg / template id
+    )
+}
+
+fn build_tx(targets: &[Address], pick: (usize, usize, u64, u32, u32, u64)) -> Transaction {
+    let (from, to, value, gas_sel, kind, arg) = pick;
+    let gas = [21_000u64, 60_000, 400_000][gas_sel as usize];
+    let payload = match kind {
+        0 => TxPayload::Transfer,
+        1 => TxPayload::Call { arg },
+        2 => TxPayload::Create {
+            template: arg % 6,
+            arg,
+        },
+        // deliberately out-of-range template ids: creation fails, but the
+        // failure must replay identically through the overlay
+        _ => TxPayload::Create {
+            template: 6 + arg,
+            arg,
+        },
+    };
+    Transaction {
+        from: targets[from],
+        to: targets[to],
+        value: Wei::new(value),
+        gas_limit: Gas::new(gas),
+        payload,
+    }
+}
+
+fn requests(targets: &[Address], picks: &[(usize, usize, u64, u32, u32, u64)]) -> Vec<ExecRequest> {
+    picks
+        .iter()
+        .enumerate()
+        .map(|(i, &pick)| {
+            let tx = build_tx(targets, pick);
+            let ctx = ExecContext::new(
+                Timestamp::from_secs(50),
+                0x9e37 ^ (i as u64) << 7,
+                tx.gas_limit,
+            )
+            .with_schedule(GasSchedule::eip150());
+            ExecRequest::new(tx, ctx)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Speculate-then-apply is byte-identical to direct execution at
+    // every step of an arbitrary sequence, and every record the apply
+    // changes is declared in the speculation's write set.
+    #[test]
+    fn overlay_replays_direct_execution(picks in proptest::collection::vec(tx_strategy(), 1..30)) {
+        let (base, targets) = seed_world();
+        let mut direct = base.clone();
+        let mut overlaid = base;
+        for req in requests(&targets, &picks) {
+            let expect = Vm::execute(&mut direct, &req.tx, &req.ctx);
+            let spec = speculate(&overlaid, &req.tx, &req.ctx);
+            prop_assert_eq!(spec.receipt(), &expect);
+            // declared sets are sorted and duplicate-free
+            let reads = spec.read_addresses();
+            let writes = spec.write_addresses();
+            prop_assert!(reads.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(writes.windows(2).all(|w| w[0] < w[1]));
+            let before: std::collections::HashMap<Address, _> = snapshot(&overlaid)
+                .1
+                .into_iter()
+                .map(|row| (row.0, row))
+                .collect();
+            spec.apply(&mut overlaid);
+            let after = snapshot(&overlaid);
+            for row in &after.1 {
+                let changed = before.get(&row.0).is_none_or(|b| b != row);
+                if changed {
+                    prop_assert!(
+                        writes.contains(&row.0),
+                        "changed {:?} not declared written", row.0
+                    );
+                }
+            }
+            prop_assert_eq!(snapshot(&direct), snapshot(&overlaid));
+        }
+    }
+
+    // The parallel engine commits byte-identically to the serial engine
+    // for any lane count, and its scheduler counters are lane-independent
+    // and rerun-stable.
+    #[test]
+    fn parallel_matches_serial_for_any_lane_count(
+        picks in proptest::collection::vec(tx_strategy(), 1..40),
+        retry in 0u32..3,
+        window in 1usize..12,
+    ) {
+        let (base, targets) = seed_world();
+        let block = requests(&targets, &picks);
+
+        let mut serial_world = base.clone();
+        let serial = SerialEngine.execute_block(&mut serial_world, &block);
+        let want = snapshot(&serial_world);
+
+        let mut metrics_seen = Vec::new();
+        for lanes in [1usize, 2, 5] {
+            let engine = ParallelEngine::new()
+                .with_lanes(lanes)
+                .with_retry(retry)
+                .with_window(window);
+            let mut world = base.clone();
+            let out = engine.execute_block(&mut world, &block);
+            prop_assert_eq!(&out.receipts, &serial.receipts, "lanes={}", lanes);
+            prop_assert_eq!(snapshot(&world), want.clone(), "lanes={}", lanes);
+            metrics_seen.push(out.metrics);
+
+            // rerun with the same lane count: identical metrics
+            let mut world2 = base.clone();
+            let again = engine.execute_block(&mut world2, &block);
+            prop_assert_eq!(again.metrics, out.metrics);
+        }
+        prop_assert_eq!(metrics_seen[0], metrics_seen[1]);
+        prop_assert_eq!(metrics_seen[1], metrics_seen[2]);
+    }
+}

@@ -22,6 +22,18 @@ pub struct ShardReport {
     pub utilization: f64,
     /// Prepare rounds this shard coordinated that aborted.
     pub aborted_rounds: u64,
+    /// Speculative executions the engine ran ahead of the commit point
+    /// (0 under the serial engine; absent in pre-split reports).
+    #[serde(default)]
+    pub exec_speculated: u64,
+    /// Cached speculations invalidated by an intervening write to their
+    /// read/write footprint.
+    #[serde(default)]
+    pub exec_conflicts: u64,
+    /// Transactions re-executed at their commit point because their
+    /// speculation was invalidated or flushed.
+    #[serde(default)]
+    pub exec_re_executions: u64,
 }
 
 /// The outcome of one sharded execution run.
@@ -69,6 +81,17 @@ pub struct RuntimeReport {
     pub makespan_us: u64,
     /// Committed transactions per virtual second.
     pub throughput_tps: f64,
+    /// Speculative executions across all shards (0 under the serial
+    /// engine; absent in pre-split reports).
+    #[serde(default)]
+    pub exec_speculated: u64,
+    /// Speculations invalidated by an intervening write, across shards.
+    #[serde(default)]
+    pub exec_conflicts: u64,
+    /// Commit-point re-executions after a wasted speculation, across
+    /// shards.
+    #[serde(default)]
+    pub exec_re_executions: u64,
     /// Per-shard breakdown.
     pub per_shard: Vec<ShardReport>,
 }

@@ -1,0 +1,130 @@
+//! Engine-parity guarantees of the sharded runtime: the explicit serial
+//! engine is a perfect shim for the historical path, a speculating
+//! engine changes nothing but the additive `exec_*` counters, and
+//! parallel runs are byte-identical — reports, trace records, metrics —
+//! across lane counts and reruns.
+
+use blockpart_ethereum::exec::ExecHandle;
+use blockpart_ethereum::gen::{ChainGenerator, GeneratorConfig};
+use blockpart_ethereum::{ExecutedTx, ParallelEngine, SerialEngine, World};
+use blockpart_runtime::{Assignment, RuntimeConfig, RuntimeReport, ShardedRuntime};
+use blockpart_types::ShardCount;
+
+fn workload() -> (World, Vec<ExecutedTx>) {
+    let synthetic = ChainGenerator::new(GeneratorConfig::test_scale(23)).generate();
+    let txs: Vec<ExecutedTx> = synthetic.txs.iter().take(400).cloned().collect();
+    (synthetic.chain.world().clone(), txs)
+}
+
+/// A load high enough that run queues build up, so a speculating engine
+/// actually gets to work ahead.
+fn config() -> RuntimeConfig {
+    RuntimeConfig::new(ShardCount::TWO).with_inter_arrival_us(20)
+}
+
+fn parallel() -> ExecHandle {
+    ExecHandle::new(ParallelEngine::new().with_lanes(2))
+}
+
+/// Zeroes the additive speculation counters so a parallel report can be
+/// compared field-for-field against a serial one.
+fn without_exec_counters(mut report: RuntimeReport) -> RuntimeReport {
+    report.exec_speculated = 0;
+    report.exec_conflicts = 0;
+    report.exec_re_executions = 0;
+    for shard in &mut report.per_shard {
+        shard.exec_speculated = 0;
+        shard.exec_conflicts = 0;
+        shard.exec_re_executions = 0;
+    }
+    report
+}
+
+#[test]
+fn explicit_serial_engine_is_a_perfect_shim() {
+    let (world, txs) = workload();
+    let default_run =
+        ShardedRuntime::new(config(), Assignment::hashed(ShardCount::TWO)).run(&world, &txs);
+    let explicit = ShardedRuntime::new(
+        config().with_exec(ExecHandle::new(SerialEngine)),
+        Assignment::hashed(ShardCount::TWO),
+    )
+    .run(&world, &txs);
+    assert_eq!(default_run, explicit);
+    assert_eq!(explicit.exec_speculated, 0);
+    assert_eq!(explicit.exec_re_executions, 0);
+}
+
+#[test]
+fn parallel_engine_changes_only_the_exec_counters() {
+    let (world, txs) = workload();
+    let serial =
+        ShardedRuntime::new(config(), Assignment::hashed(ShardCount::TWO)).run(&world, &txs);
+    let parallel_run = ShardedRuntime::new(
+        config().with_exec(parallel()),
+        Assignment::hashed(ShardCount::TWO),
+    )
+    .run(&world, &txs);
+    assert!(
+        parallel_run.exec_speculated > 0,
+        "no speculation happened: {parallel_run:?}"
+    );
+    assert_eq!(
+        without_exec_counters(parallel_run),
+        without_exec_counters(serial.clone())
+    );
+    assert_eq!(serial.exec_speculated, 0);
+}
+
+#[test]
+fn parallel_runs_are_byte_identical_across_lane_counts() {
+    let (world, txs) = workload();
+    let mut runs = Vec::new();
+    for lanes in [1usize, 2, 8] {
+        let cfg = config().with_exec(ExecHandle::new(ParallelEngine::new().with_lanes(lanes)));
+        let (report, trace) =
+            ShardedRuntime::new(cfg, Assignment::hashed(ShardCount::TWO)).run_traced(&world, &txs);
+        runs.push((
+            lanes,
+            report,
+            trace.records().to_vec(),
+            trace.metrics_text(),
+        ));
+    }
+    let (_, report0, records0, metrics0) = &runs[0];
+    for (lanes, report, records, metrics) in &runs[1..] {
+        assert_eq!(report, report0, "report differs at lanes={lanes}");
+        assert_eq!(records, records0, "trace records differ at lanes={lanes}");
+        assert_eq!(metrics, metrics0, "metrics differ at lanes={lanes}");
+    }
+}
+
+#[test]
+fn parallel_reruns_are_deterministic() {
+    let (world, txs) = workload();
+    let run = || {
+        ShardedRuntime::new(
+            config().with_exec(parallel()),
+            Assignment::hashed(ShardCount::TWO),
+        )
+        .run(&world, &txs)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn speculation_counters_roll_up_from_shards() {
+    let (world, txs) = workload();
+    let report = ShardedRuntime::new(
+        config().with_exec(parallel()),
+        Assignment::hashed(ShardCount::TWO),
+    )
+    .run(&world, &txs);
+    let per_shard: u64 = report.per_shard.iter().map(|s| s.exec_speculated).sum();
+    assert_eq!(report.exec_speculated, per_shard);
+    let conflicts: u64 = report.per_shard.iter().map(|s| s.exec_conflicts).sum();
+    assert_eq!(report.exec_conflicts, conflicts);
+    let reexec: u64 = report.per_shard.iter().map(|s| s.exec_re_executions).sum();
+    assert_eq!(report.exec_re_executions, reexec);
+    assert!(report.exec_conflicts <= report.exec_re_executions);
+}

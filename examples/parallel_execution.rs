@@ -1,0 +1,109 @@
+//! Parallel intra-shard execution: resolve the serial and Block-STM
+//! engines from the registry, replay the same hostile workload through
+//! both, and show that the parallel engine commits byte-identical
+//! outcomes — all that changes is the measured speculation.
+//!
+//! ```sh
+//! cargo run --release --example parallel_execution
+//! ```
+
+use blockpart::core::{EngineRegistry, ScenarioRegistry};
+use blockpart::ethereum::gen::GeneratorConfig;
+use blockpart::ethereum::{ExecutedTx, World};
+use blockpart::runtime::{Assignment, RuntimeConfig, RuntimeReport, ShardedRuntime};
+use blockpart::types::ShardCount;
+
+/// Replays the workload under the named engine at k = 2, loaded hard
+/// enough (20µs arrival gap) that queues build and a parallel engine
+/// gets room to speculate ahead.
+fn replay(
+    engines: &EngineRegistry,
+    spec: &str,
+    world: &World,
+    txs: &[ExecutedTx],
+) -> RuntimeReport {
+    let engine = engines.resolve(spec).expect("engine resolves");
+    let config = RuntimeConfig::new(ShardCount::TWO)
+        .with_inter_arrival_us(20)
+        .with_exec(engine);
+    ShardedRuntime::new(config, Assignment::hashed(ShardCount::TWO)).run(world, txs)
+}
+
+/// Strips the additive speculation counters so a parallel report can be
+/// compared field-for-field against a serial one.
+fn without_exec_counters(mut report: RuntimeReport) -> RuntimeReport {
+    report.exec_speculated = 0;
+    report.exec_conflicts = 0;
+    report.exec_re_executions = 0;
+    for shard in &mut report.per_shard {
+        shard.exec_speculated = 0;
+        shard.exec_conflicts = 0;
+        shard.exec_re_executions = 0;
+    }
+    report
+}
+
+fn main() {
+    let engines = EngineRegistry::with_builtins();
+    println!("registered engines:");
+    println!("{}", engines.help_table().render_ascii());
+
+    // A contention-maximizing workload: the ICO-style burst hammers a
+    // handful of hot contracts, exactly where optimistic execution must
+    // detect conflicts and re-execute.
+    let scenarios = ScenarioRegistry::with_builtins();
+    let built = scenarios
+        .resolve("hub-burst")
+        .expect("built-in scenario resolves")
+        .build(&GeneratorConfig::test_scale(42).with_scale(0.25));
+    let world = built.chain.world().clone();
+    let txs: Vec<ExecutedTx> = built.txs.iter().take(300).cloned().collect();
+    println!("workload: hub-burst, {} transactions at k = 2\n", txs.len());
+
+    let serial = replay(&engines, "serial", &world, &txs);
+    let parallel = replay(&engines, "block-stm[lanes=4]", &world, &txs);
+
+    // The parity guarantee: byte-identical commits in block order, on
+    // every lane count — only the exec_* counters may differ.
+    assert_eq!(
+        without_exec_counters(parallel.clone()),
+        without_exec_counters(serial.clone()),
+        "parallel execution must be indistinguishable from serial"
+    );
+    assert_eq!(
+        serial.exec_speculated, 0,
+        "the serial engine never speculates"
+    );
+    let rerun = replay(&engines, "parallel[lanes=2]", &world, &txs);
+    assert_eq!(
+        rerun, parallel,
+        "lane count and reruns must not change a single byte"
+    );
+
+    println!(
+        "serial engine:   {} committed, {} aborted rounds",
+        serial.committed, serial.aborted_rounds
+    );
+    println!(
+        "parallel engine: {} committed, {} aborted rounds — identical outcomes",
+        parallel.committed, parallel.aborted_rounds
+    );
+    println!(
+        "speculation:     {} speculated, {} conflicts, {} re-executions",
+        parallel.exec_speculated, parallel.exec_conflicts, parallel.exec_re_executions
+    );
+    for shard in &parallel.per_shard {
+        println!(
+            "  {}: {} speculated, {} conflicts, {} re-executed",
+            shard.shard, shard.exec_speculated, shard.exec_conflicts, shard.exec_re_executions
+        );
+    }
+
+    println!("\nreading the numbers:");
+    println!("  * commits land strictly in block order, so reports, traces and");
+    println!("    state are byte-identical across engines and lane counts;");
+    println!("  * conflicts surface where the burst's hot contracts collide —");
+    println!("    each one costs a re-execution, never a divergent result;");
+    println!("  * `blockpart runtime --exec \"parallel[lanes=4]\"` (and `live`)");
+    println!("    take any spec `list-engines` prints.");
+}

@@ -12,8 +12,10 @@
 //! blockpart profile  --scale 0.001 --shards 2,4   # stage → time self-profile
 //! blockpart study    --scenario "hub-burst[contracts=3]" --strategy tr-metis
 //! blockpart live     --scenario phase-shift        # hostile workload, live
+//! blockpart runtime  --exec "parallel[lanes=4]"    # Block-STM execution
 //! blockpart list-strategies
 //! blockpart list-scenarios
+//! blockpart list-engines
 //! blockpart help
 //! ```
 //!
@@ -23,6 +25,10 @@
 //! Adversarial workloads resolve the same way through the
 //! [`ScenarioRegistry`](blockpart::core::ScenarioRegistry) (`--scenario`),
 //! and `+` composes scenarios: `hub-burst[contracts=2]+dummy-spam`.
+//! Intra-shard execution engines resolve through the
+//! [`EngineRegistry`](blockpart::core::EngineRegistry) (`--exec`); every
+//! engine commits byte-identical results, so the flag changes measured
+//! speculation counters and wall-clock, never outcomes.
 
 use std::collections::HashMap;
 use std::fs::File;
@@ -33,7 +39,8 @@ use std::sync::Arc;
 
 use blockpart::core::ablation::{offline_partitioner_comparison, offline_table};
 use blockpart::core::{
-    run_profile, Experiment, ExperimentReport, ScenarioRegistry, ScenarioSpec, StrategyRegistry,
+    run_profile, EngineRegistry, Experiment, ExperimentReport, ScenarioRegistry, ScenarioSpec,
+    StrategyRegistry,
 };
 use blockpart::ethereum::gen::{ChainGenerator, GeneratorConfig};
 use blockpart::graph::io::write_trace;
@@ -88,6 +95,10 @@ COMMANDS:
                --shards <k,..>   shard counts           (default 1,2,4)
                --latency-us <n>  one-way net latency    (default 1000)
                --arrival-us <n>  arrival gap / offered load (default 500)
+               --exec <e>        intra-shard execution engine,
+                                 `name[key=value;...]` — see list-engines
+                                 (default serial; results are
+                                 byte-identical across engines)
                --json            machine-readable ExperimentReport
                --trace <path>    Perfetto trace_event JSON (the replay's
                                  virtual-clock slice is deterministic)
@@ -105,6 +116,8 @@ COMMANDS:
                --window-hours <n> measurement window   (default 4)
                --latency-us <n>  one-way net latency   (default 1000)
                --arrival-us <n>  arrival gap / offered load (default 500)
+               --exec <e>        intra-shard execution engine (default
+                                 serial)
                --json            machine-readable MigrationReport
                --trace <path>    Perfetto trace_event JSON of the live
                                  session (virtual-clock, deterministic)
@@ -124,6 +137,9 @@ COMMANDS:
     list-scenarios
                print the registered adversarial scenarios and their
                parameters
+    list-engines
+               print the registered intra-shard execution engines and
+               their parameters
     help       print this message
 
 `--methods` and `--strategy` are accepted as aliases of `--strategies`.
@@ -135,14 +151,16 @@ const FLAG_OPTIONS: &[&str] = &["json", "no-obs", "no-replay"];
 fn main() -> ExitCode {
     let registry = StrategyRegistry::with_builtins();
     let scenarios = ScenarioRegistry::with_builtins();
+    let engines = EngineRegistry::with_builtins();
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&registry, &scenarios, &args) {
+    match run(&registry, &scenarios, &engines, &args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("{USAGE}");
             eprintln!("STRATEGIES:\n{}", registry.help_table().render_ascii());
             eprintln!("SCENARIOS:\n{}", scenarios.help_table().render_ascii());
+            eprintln!("ENGINES:\n{}", engines.help_table().render_ascii());
             ExitCode::FAILURE
         }
     }
@@ -151,6 +169,7 @@ fn main() -> ExitCode {
 fn run(
     registry: &StrategyRegistry,
     scenarios: &ScenarioRegistry,
+    engines: &EngineRegistry,
     args: &[String],
 ) -> Result<(), String> {
     let Some(command) = args.first() else {
@@ -212,6 +231,7 @@ fn run(
                     "shards",
                     "latency-us",
                     "arrival-us",
+                    "exec",
                     "json",
                     "trace",
                     "metrics",
@@ -219,7 +239,7 @@ fn run(
                     "spill-dir",
                 ],
             )?;
-            cmd_runtime(registry, scenarios, &opts)
+            cmd_runtime(registry, scenarios, engines, &opts)
         }
         "live" => {
             ensure_known_options(
@@ -235,13 +255,14 @@ fn run(
                     "window-hours",
                     "latency-us",
                     "arrival-us",
+                    "exec",
                     "json",
                     "trace",
                     "mem-budget",
                     "spill-dir",
                 ],
             )?;
-            cmd_live(registry, scenarios, &opts)
+            cmd_live(registry, scenarios, engines, &opts)
         }
         "profile" => {
             ensure_known_options(
@@ -271,10 +292,16 @@ fn run(
             println!("{}", scenarios.help_table().render_ascii());
             Ok(())
         }
+        "list-engines" => {
+            ensure_known_options(&opts, "list-engines", &[])?;
+            println!("{}", engines.help_table().render_ascii());
+            Ok(())
+        }
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             println!("STRATEGIES:\n{}", registry.help_table().render_ascii());
             println!("SCENARIOS:\n{}", scenarios.help_table().render_ascii());
+            println!("ENGINES:\n{}", engines.help_table().render_ascii());
             Ok(())
         }
         other => Err(format!("unknown command `{other}`")),
@@ -425,6 +452,18 @@ fn storage_of(opts: &HashMap<String, String>) -> Result<StorageBackend, String> 
             }
         },
         (None, None) => Ok(StorageBackend::from_env()),
+    }
+}
+
+/// Resolves `--exec` (a `name[key=value;...]` spec) through the engine
+/// registry; `None` means each strategy's default (the serial engine).
+fn exec_of(
+    engines: &EngineRegistry,
+    opts: &HashMap<String, String>,
+) -> Result<Option<blockpart::ethereum::ExecHandle>, String> {
+    match opts.get("exec") {
+        None => Ok(None),
+        Some(spec) => engines.resolve(spec).map(Some).map_err(|e| e.to_string()),
     }
 }
 
@@ -633,19 +672,21 @@ fn micros_of(opts: &HashMap<String, String>, key: &str, default: u64) -> Result<
 fn cmd_runtime(
     registry: &StrategyRegistry,
     scenarios: &ScenarioRegistry,
+    engines: &EngineRegistry,
     opts: &HashMap<String, String>,
 ) -> Result<(), String> {
     // validate all options before the (expensive) generation
     let spec = strategy_spec_of(opts, "hash,metis")?;
     registry.resolve_list(spec).map_err(|e| e.to_string())?;
     let scenario = scenario_of(scenarios, opts)?;
+    let exec = exec_of(engines, opts)?;
     let shards = shards_of(opts, &[1, 2, 4])?;
     let seed = seed_of(opts)?;
     let latency_us = micros_of(opts, "latency-us", 1_000)?;
     let arrival_us = micros_of(opts, "arrival-us", 500)?;
     let storage = storage_of(opts)?;
     let chain = generate(opts, scenario.as_ref())?;
-    let report = Experiment::over_chain(&chain)
+    let mut experiment = Experiment::over_chain(&chain)
         .named_strategies(registry, spec)
         .map_err(|e| e.to_string())?
         .shard_counts(shards.clone())
@@ -655,8 +696,11 @@ fn cmd_runtime(
         .net_latency_us(latency_us)
         .inter_arrival_us(arrival_us)
         .storage(storage)
-        .trace(tracing_requested(opts))
-        .run();
+        .trace(tracing_requested(opts));
+    if let Some(engine) = exec {
+        experiment = experiment.with_exec(engine);
+    }
+    let report = experiment.run();
     print_report(&report, json_of(opts), true);
     if tracing_requested(opts) {
         // virtual-only: the exported replay trace is deterministic.
@@ -687,12 +731,14 @@ fn cmd_runtime(
 fn cmd_live(
     registry: &StrategyRegistry,
     scenarios: &ScenarioRegistry,
+    engines: &EngineRegistry,
     opts: &HashMap<String, String>,
 ) -> Result<(), String> {
     // validate all options before the (expensive) generation
     let spec_str = opts.get("strategy").map_or("tr-metis", String::as_str);
     let spec = registry.resolve(spec_str).map_err(|e| e.to_string())?;
     let scenario = scenario_of(scenarios, opts)?;
+    let exec = exec_of(engines, opts)?;
     let k = match (opts.get("k"), opts.get("shards")) {
         (Some(_), Some(_)) => return Err("both --k and --shards given; use one".into()),
         (None, None) => ShardCount::new(4).expect("non-zero"),
@@ -723,6 +769,9 @@ fn cmd_live(
         .with_net_latency_us(latency_us)
         .with_inter_arrival_us(arrival_us);
     runtime_cfg.k = k;
+    if let Some(engine) = exec {
+        runtime_cfg = runtime_cfg.with_exec(engine);
+    }
     // with a spill backend, migration batches serialize through the
     // on-disk account-state spool (removed on success, kept on failure)
     let mut session = None;
@@ -909,15 +958,16 @@ mod tests {
     fn unknown_command_errors() {
         let registry = StrategyRegistry::with_builtins();
         let scenarios = ScenarioRegistry::with_builtins();
-        let err = run(&registry, &scenarios, &["frobnicate".to_string()]).unwrap_err();
+        let engines = EngineRegistry::with_builtins();
+        let err = run(&registry, &scenarios, &engines, &["frobnicate".to_string()]).unwrap_err();
         assert!(err.contains("frobnicate"), "{err}");
-        assert!(run(&registry, &scenarios, &[]).is_err());
+        assert!(run(&registry, &scenarios, &engines, &[]).is_err());
         // unknown option on a valid command names the token
         let args: Vec<String> = ["study", "--frob", "1"]
             .iter()
             .map(|s| s.to_string())
             .collect();
-        let err = run(&registry, &scenarios, &args).unwrap_err();
+        let err = run(&registry, &scenarios, &engines, &args).unwrap_err();
         assert!(err.contains("--frob"), "{err}");
     }
 

@@ -1,0 +1,130 @@
+//! Engine byte-identity under hostile workloads: the parallel engine
+//! must match the serial engine transaction-for-transaction even on the
+//! adversarial scenarios built to maximize contention (`hub-burst`
+//! hammers a handful of hot contracts; `dummy-spam` floods throwaway
+//! accounts), and must stay byte-identical to itself across lane counts
+//! and reruns. Also exercises the name-resolution path end to end:
+//! every engine here is resolved from the [`EngineRegistry`].
+
+use blockpart::core::{EngineRegistry, Experiment, ScenarioRegistry, StrategyRegistry};
+use blockpart::ethereum::gen::GeneratorConfig;
+use blockpart::runtime::{Assignment, RuntimeConfig, RuntimeReport, ShardedRuntime};
+use blockpart::types::ShardCount;
+use proptest::prelude::*;
+
+/// A hostile workload small enough to replay many times, loaded hard
+/// enough (20µs arrival gap) that run queues build and the parallel
+/// engine actually speculates ahead.
+fn hostile_workload(
+    scenario: &str,
+    seed: u64,
+) -> (
+    blockpart::ethereum::World,
+    Vec<blockpart::ethereum::ExecutedTx>,
+) {
+    let registry = ScenarioRegistry::with_builtins();
+    let config = GeneratorConfig::test_scale(seed).with_scale(0.25);
+    let built = registry.resolve(scenario).expect("scenario").build(&config);
+    let txs = built.txs.iter().take(300).cloned().collect();
+    (built.chain.world().clone(), txs)
+}
+
+fn run_with(
+    engine_spec: &str,
+    world: &blockpart::ethereum::World,
+    txs: &[blockpart::ethereum::ExecutedTx],
+) -> RuntimeReport {
+    let engine = EngineRegistry::with_builtins()
+        .resolve(engine_spec)
+        .expect("engine resolves");
+    let cfg = RuntimeConfig::new(ShardCount::TWO)
+        .with_inter_arrival_us(20)
+        .with_exec(engine);
+    ShardedRuntime::new(cfg, Assignment::hashed(ShardCount::TWO)).run(world, txs)
+}
+
+/// Zeroes the additive speculation counters so a parallel report can be
+/// compared field-for-field against a serial one.
+fn without_exec_counters(mut report: RuntimeReport) -> RuntimeReport {
+    report.exec_speculated = 0;
+    report.exec_conflicts = 0;
+    report.exec_re_executions = 0;
+    for shard in &mut report.per_shard {
+        shard.exec_speculated = 0;
+        shard.exec_conflicts = 0;
+        shard.exec_re_executions = 0;
+    }
+    report
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    // On both historical-anomaly scenarios, the parallel engine commits
+    // the exact transaction outcomes of the serial engine — only the
+    // additive exec_* counters may differ — and any lane count (1, 2, N)
+    // and any rerun produces the byte-identical report.
+    #[test]
+    fn parallel_matches_serial_on_adversarial_scenarios(
+        seed in 0u64..1000,
+        scenario_index in 0usize..2,
+    ) {
+        let scenario = ["hub-burst", "dummy-spam"][scenario_index];
+        let (world, txs) = hostile_workload(scenario, seed);
+        let serial = run_with("serial", &world, &txs);
+        let lane_runs: Vec<RuntimeReport> = ["parallel[lanes=1]", "parallel[lanes=2]", "parallel[lanes=6]"]
+            .iter()
+            .map(|spec| run_with(spec, &world, &txs))
+            .collect();
+        for run in &lane_runs {
+            prop_assert_eq!(
+                without_exec_counters(run.clone()),
+                without_exec_counters(serial.clone()),
+                "{}: parallel diverged from serial", scenario
+            );
+        }
+        // lane-count independence and rerun determinism, byte for byte
+        prop_assert_eq!(&lane_runs[1], &lane_runs[0], "{}: lanes=2 != lanes=1", scenario);
+        prop_assert_eq!(&lane_runs[2], &lane_runs[0], "{}: lanes=6 != lanes=1", scenario);
+        let rerun = run_with("parallel[lanes=2]", &world, &txs);
+        prop_assert_eq!(&rerun, &lane_runs[1], "{}: rerun diverged", scenario);
+        prop_assert_eq!(serial.exec_speculated, 0, "serial engine must not speculate");
+    }
+}
+
+/// The experiment pipeline threads the engine override into its replay
+/// stage: a full `Experiment` run under the parallel engine reports the
+/// same partition quality and commit outcomes as the serial default,
+/// with only the exec counters (and the speculation they measure) added
+/// on top.
+#[test]
+fn experiment_replay_is_engine_invariant() {
+    let strategies = StrategyRegistry::with_builtins();
+    let engines = EngineRegistry::with_builtins();
+    let config = GeneratorConfig::test_scale(7).with_scale(0.25);
+    let run = |engine: Option<&str>| {
+        let mut exp = Experiment::from_generator(config.clone())
+            .named_strategies(&strategies, "hash")
+            .expect("strategy resolves")
+            .shard_counts(vec![ShardCount::TWO])
+            .inter_arrival_us(20)
+            .replay(true);
+        if let Some(spec) = engine {
+            exp = exp.with_exec(engines.resolve(spec).expect("engine resolves"));
+        }
+        exp.run()
+    };
+    let serial = run(None);
+    let parallel = run(Some("block-stm[lanes=3]"));
+    let serial_rt = serial.runs[0].runtime.clone().expect("replay ran");
+    let parallel_rt = parallel.runs[0].runtime.clone().expect("replay ran");
+    assert!(
+        parallel_rt.exec_speculated > 0,
+        "override did not reach the replay stage: {parallel_rt:?}"
+    );
+    assert_eq!(serial_rt.exec_speculated, 0);
+    assert_eq!(
+        without_exec_counters(parallel_rt),
+        without_exec_counters(serial_rt)
+    );
+}

@@ -35,6 +35,7 @@ fn cost_model_prefers_better_partitioning() {
         mode: CrossShardMode::Coordinate {
             coordination_factor: 3.0,
         },
+        ..CostModel::default()
     };
     let hash = model.run_summary(result.get(Method::Hash, k).expect("ran"), 4);
     let metis = model.run_summary(result.get(Method::Metis, k).expect("ran"), 4);
